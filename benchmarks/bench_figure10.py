@@ -1,0 +1,37 @@
+"""Figure 10: total work done, first 5 vs all 15 user queries.
+
+Paper: ATC-CQ and ATC-UQ need roughly 3x the input tuples for 3x the
+queries (no reuse across time); ATC-FULL needs only ~1.75x; ATC-CL
+about 2x (it shares less than FULL across its separate graphs but far
+more than the baselines).
+"""
+
+from repro.common.config import SharingMode
+from repro.experiments import figure10
+from repro.experiments.harness import quick_scale
+
+
+def test_figure10(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: figure10.run(quick_scale()), rounds=1, iterations=1,
+    )
+    save_result("figure10", result.table().render())
+
+    # No-reuse configurations scale close to linearly in query count.
+    for mode in (SharingMode.ATC_CQ, SharingMode.ATC_UQ):
+        assert result.ratio(mode) > 2.0
+
+    # Reuse makes the additional 10 queries much cheaper than linear:
+    # FULL's growth ratio is well below the no-sharing baseline's.
+    assert result.ratio(SharingMode.ATC_FULL) \
+        <= result.ratio(SharingMode.ATC_CQ) * 0.85
+
+    # Clustered sharing lands between FULL and the baselines.
+    assert result.ratio(SharingMode.ATC_CL) <= result.ratio(
+        SharingMode.ATC_CQ) + 1e-9
+
+    # Absolute work: sharing configurations consume fewer input tuples
+    # than the baseline at both workload sizes.
+    for size in (result.tuples_5, result.tuples_15):
+        assert size[SharingMode.ATC_FULL] <= size[SharingMode.ATC_CQ]
+        assert size[SharingMode.ATC_CL] <= size[SharingMode.ATC_CQ]

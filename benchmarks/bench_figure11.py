@@ -1,0 +1,25 @@
+"""Figure 11: optimizer running time vs number of candidate inputs.
+
+Paper: "the distribution follows an exponential curve as the number of
+candidates increase."  We check superlinear growth of the search
+effort (memoized plans explored -- the noise-free proxy for wall time)
+against the candidate count, plus sane absolute optimizer times.
+"""
+
+from repro.experiments import figure11
+from repro.experiments.harness import quick_scale
+
+
+def test_figure11(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: figure11.run(quick_scale()), rounds=1, iterations=1,
+    )
+    lines = [result.table().render(),
+             f"log-growth slope: {result.growth_slope():.4f}"]
+    save_result("figure11", "\n".join(lines))
+
+    assert len(result.points) >= 4
+    # Growth: more candidates => more plans explored, superlinearly.
+    assert result.growth_slope() > 0.0
+    # The optimizer stays usable at the paper's candidate range.
+    assert all(seconds < 30.0 for _c, seconds, _e in result.points)

@@ -1,0 +1,41 @@
+"""Figure 7: per-UQ running times under the four configurations.
+
+Paper shape over 15 synthetic user queries: ATC-UQ beats ATC-CQ
+virtually across the board (up to 90% for one query); ATC-FULL beats
+ATC-UQ only on a minority of queries (contention in the single shared
+graph); the clustered ATC-CL resolves the contention.
+"""
+
+from repro.common.config import SharingMode
+from repro.experiments import figure7
+from repro.experiments.harness import quick_scale
+
+
+def test_figure7(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: figure7.run(quick_scale()), rounds=1, iterations=1,
+    )
+    lines = [result.table().render()]
+    for mode in (SharingMode.ATC_CQ, SharingMode.ATC_UQ,
+                 SharingMode.ATC_FULL, SharingMode.ATC_CL):
+        lines.append(f"mean({mode}) = {result.mean(mode):.3f} virtual s")
+    save_result("figure7", "\n".join(lines))
+
+    n_queries = len(result.latencies[SharingMode.ATC_CQ])
+    assert n_queries == 15
+
+    # Within-UQ sharing helps nearly everywhere (paper: "virtually
+    # across the board").
+    uq_wins = result.wins(SharingMode.ATC_UQ, SharingMode.ATC_CQ)
+    assert uq_wins >= n_queries * 0.6
+
+    # Full sharing does the least work but contends: it must not beat
+    # ATC-UQ everywhere, and clustering must improve on FULL on average.
+    full_wins = result.wins(SharingMode.ATC_FULL, SharingMode.ATC_UQ)
+    assert full_wins < n_queries
+    assert result.mean(SharingMode.ATC_CL) \
+        <= result.mean(SharingMode.ATC_FULL) * 1.05
+
+    # Clustering beats the no-sharing baseline on average.
+    assert result.mean(SharingMode.ATC_CL) \
+        < result.mean(SharingMode.ATC_CQ) * 1.10

@@ -1,0 +1,41 @@
+"""Figure 9: individually (batch=1) vs batch-optimized (batch=5).
+
+Paper claim: "significant gains in performance for larger batch sizes,
+clearly indicating that it is advantageous to proactively identify
+opportunities for subexpression sharing."
+
+What we reproduce and what diverges (full discussion in
+EXPERIMENTS.md): batch optimization's *work* advantage reproduces
+strongly -- single-query optimization misses cross-query subexpressions
+and consumes several times more input tuples on some instances -- and
+it amortizes optimizer invocations 15 -> ~5.  The paper's *latency*
+advantage inverts here, because this implementation's reactive reuse
+(free in-memory recovery replays grafted onto running plans) lets
+individually-optimized queries piggyback on earlier state almost as
+well as proactive batching, without waiting for a batch to fill.
+"""
+
+from repro.experiments import figure9
+from repro.experiments.harness import quick_scale
+
+
+def test_figure9(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: figure9.run(quick_scale()), rounds=1, iterations=1,
+    )
+    lines = [result.table().render(),
+             f"total SINGLE-OPT: {result.total('single'):.3f} virtual s, "
+             f"work {result.work_single:.0f} input tuples, "
+             f"{result.optimizer_calls_single} optimizer calls",
+             f"total BATCH-OPT:  {result.total('batch'):.3f} virtual s, "
+             f"work {result.work_batch:.0f} input tuples, "
+             f"{result.optimizer_calls_batch} optimizer calls"]
+    save_result("figure9", "\n".join(lines))
+
+    assert len(result.single_opt) == 15
+    assert len(result.batch_opt) == 15
+    # Proactive MQO consumes no more input than per-query optimization,
+    # and on overlap-heavy instances dramatically less.
+    assert result.work_batch <= result.work_single * 1.05
+    # Batching amortizes optimizer invocations.
+    assert result.optimizer_calls_batch < result.optimizer_calls_single

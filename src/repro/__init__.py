@@ -1,0 +1,56 @@
+"""repro: a reproduction of "Sharing Work in Keyword Search over
+Databases" (Jacob & Ives, SIGMOD 2011).
+
+The package implements the Q System's query-processing middleware: a
+keyword-search front end over a federation of (simulated) remote
+databases, a multi-query optimizer that shares subexpressions within
+and across top-k queries, a fully pipelined plan graph of m-joins and
+rank-merge operators coordinated by the ATC scheduler, and a query
+state manager that grafts, reuses, prunes, and evicts plan state over
+time.
+
+Quickstart::
+
+    from repro import (
+        ExecutionConfig, KeywordQuery, QSystemEngine, SharingMode,
+        figure1_federation,
+    )
+
+    federation = figure1_federation()
+    engine = QSystemEngine(
+        federation, ExecutionConfig(mode=SharingMode.ATC_FULL, k=10)
+    )
+    engine.submit(KeywordQuery("KQ1", ("protein", "plasma membrane"), k=10))
+    report = engine.run()
+    print(report.answers["KQ1"])
+"""
+
+from repro.atc.engine import EngineReport, QSystemEngine
+from repro.common.config import DelayModel, ExecutionConfig, SharingMode
+from repro.data.biodb import BioDBConfig, biodb_federation
+from repro.data.database import Database, Federation
+from repro.data.figure1 import figure1_federation, figure1_schema
+from repro.data.gus import GUSConfig, gus_federation
+from repro.keyword.queries import ConjunctiveQuery, KeywordQuery, UserQuery
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BioDBConfig",
+    "ConjunctiveQuery",
+    "Database",
+    "DelayModel",
+    "EngineReport",
+    "ExecutionConfig",
+    "Federation",
+    "GUSConfig",
+    "KeywordQuery",
+    "QSystemEngine",
+    "SharingMode",
+    "UserQuery",
+    "biodb_federation",
+    "figure1_federation",
+    "figure1_schema",
+    "gus_federation",
+    "__version__",
+]

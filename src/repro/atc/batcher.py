@@ -1,0 +1,85 @@
+"""The query batcher (Section 3).
+
+Conjunctive queries arrive as ``(UQ, CQ, C)`` triples in nonincreasing
+order of their score bound; the batcher "typically waits for these
+conjunctive queries to collect over a small time interval before it
+passes them along" to the optimizer.  We batch at user-query
+granularity: user queries are ordered by arrival time and grouped into
+batches of ``batch_size`` whose members arrived within ``window``
+virtual seconds of the batch opener; a batch's *dispatch time* is its
+last member's arrival (the optimizer cannot run before the queries
+exist).
+
+Figure 9 compares ``batch_size=1`` (SINGLE-OPT: every user query
+optimized in isolation) against ``batch_size=5`` (BATCH-OPT, the
+paper's default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.keyword.queries import UserQuery
+
+
+@dataclass
+class Batch:
+    """One optimizer invocation's worth of user queries."""
+
+    index: int
+    uqs: list[UserQuery]
+
+    @property
+    def dispatch_time(self) -> float:
+        return max((uq.arrival for uq in self.uqs), default=0.0)
+
+    @property
+    def cq_count(self) -> int:
+        return sum(len(uq.cqs) for uq in self.uqs)
+
+    def __repr__(self) -> str:
+        return (f"Batch({self.index}, uqs={[u.uq_id for u in self.uqs]}, "
+                f"dispatch={self.dispatch_time:.2f}s)")
+
+
+@dataclass
+class QueryBatcher:
+    """Groups user queries into dispatchable batches."""
+
+    batch_size: int = 5
+    window: float = 30.0
+    _pending: list[UserQuery] = field(default_factory=list)
+
+    def submit(self, uq: UserQuery) -> None:
+        self._pending.append(uq)
+
+    def submit_all(self, uqs: list[UserQuery]) -> None:
+        self._pending.extend(uqs)
+
+    def drain(self) -> list[Batch]:
+        """Form batches from everything submitted so far.
+
+        Queries are taken in arrival order; a batch closes when it
+        reaches ``batch_size`` members or when the next query arrived
+        more than ``window`` seconds after the batch opener.
+        """
+        ordered = sorted(self._pending, key=lambda u: (u.arrival, u.uq_id))
+        self._pending = []
+        batches: list[Batch] = []
+        current: list[UserQuery] = []
+        opened_at = 0.0
+        for uq in ordered:
+            if not current:
+                current = [uq]
+                opened_at = uq.arrival
+                continue
+            if (len(current) >= self.batch_size
+                    or uq.arrival - opened_at > self.window):
+                batches.append(Batch(len(batches), current))
+                current = [uq]
+                opened_at = uq.arrival
+            else:
+                current.append(uq)
+        if current:
+            batches.append(Batch(len(batches), current))
+        return batches

@@ -1,0 +1,248 @@
+"""The Q System engine: the full pipeline of Figure 3.
+
+``QSystemEngine`` is the library's main entry point.  It wires
+together:
+
+  keyword query -> candidate networks -> query batcher -> multi-query
+  optimizer (reuse-aware) -> factorized plan -> QS manager graft ->
+  ATC execution -> ranked answers,
+
+under one of the four sharing configurations (ATC-CQ / ATC-UQ /
+ATC-FULL / ATC-CL).  All timing is virtual: stream reads and remote
+probes advance each plan graph's clock by simulated network delays,
+while measured optimizer wall time is added on top (the paper's
+timings "included query optimization as a component").
+
+Typical use::
+
+    engine = QSystemEngine(federation, ExecutionConfig(mode=SharingMode.ATC_FULL))
+    engine.submit(KeywordQuery("KQ1", ("protein", "plasma membrane"), k=50))
+    report = engine.run()
+    for answer in report.answers["KQ1"]:
+        print(answer)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.atc.batcher import Batch, QueryBatcher
+from repro.atc.controller import ATCController
+from repro.atc.state_manager import QueryStateManager
+from repro.common.config import ExecutionConfig, SharingMode
+from repro.data.database import Federation
+from repro.data.inverted import InvertedIndex
+from repro.keyword.candidates import CandidateNetworkGenerator
+from repro.keyword.queries import KeywordQuery, RankedAnswer, UserQuery
+from repro.optimizer.bestplan import BestPlanSearch
+from repro.optimizer.candidates import enumerate_candidates, streamable_aliases
+from repro.optimizer.cost import CostModel
+from repro.optimizer.factorize import factorize
+from repro.plan.graph import PlanGraph
+from repro.stats.metrics import Metrics, OptimizerRecord, UQRecord
+
+
+@dataclass
+class EngineReport:
+    """Everything an experiment needs from one engine run."""
+
+    config: ExecutionConfig
+    answers: dict[str, list[RankedAnswer]] = field(default_factory=dict)
+    metrics: Metrics = field(default_factory=Metrics)
+    graph_summaries: dict[str, dict] = field(default_factory=dict)
+
+    def latency(self, uq_id: str) -> float | None:
+        record = self.metrics.uq_records.get(uq_id)
+        return record.latency if record else None
+
+    def latencies(self) -> dict[str, float]:
+        """Arrival-to-completion per user query (includes batch wait)."""
+        return {
+            uq_id: record.latency
+            for uq_id, record in sorted(self.metrics.uq_records.items())
+            if record.latency is not None
+        }
+
+    def execution_times(self) -> dict[str, float]:
+        """Scheduling-to-completion per user query (pure execution,
+        excluding both the batcher wait and query optimization)."""
+        return {
+            uq_id: record.execution_time
+            for uq_id, record in sorted(self.metrics.uq_records.items())
+            if record.execution_time is not None
+        }
+
+    def processing_times(self) -> dict[str, float]:
+        """Dispatch-to-completion per user query: optimization plus
+        execution -- the paper's "running time to return the top-k
+        results" (its timings "included query optimization")."""
+        return {
+            uq_id: record.processing_time
+            for uq_id, record in sorted(self.metrics.uq_records.items())
+            if record.processing_time is not None
+        }
+
+    def cqs_executed(self) -> dict[str, int]:
+        return {
+            uq_id: record.cqs_executed
+            for uq_id, record in sorted(self.metrics.uq_records.items())
+        }
+
+
+class QSystemEngine:
+    """Middleware facade: submit keyword queries, run, collect answers."""
+
+    def __init__(self, federation: Federation, config: ExecutionConfig,
+                 generator: CandidateNetworkGenerator | None = None,
+                 index: InvertedIndex | None = None) -> None:
+        self.federation = federation
+        self.config = config
+        self.index = index if index is not None else InvertedIndex(federation)
+        self.generator = generator or CandidateNetworkGenerator(
+            federation, index=self.index, max_cqs=config.max_cqs_per_uq,
+        )
+        self.batcher = QueryBatcher(batch_size=config.batch_size)
+        self.qs = QueryStateManager(federation, config)
+        self.cost_model = CostModel(federation, config)
+        self._submitted: list[UserQuery] = []
+
+    # -- intake ---------------------------------------------------------------
+
+    def submit(self, kq: KeywordQuery) -> UserQuery:
+        """Expand a keyword query into a user query and enqueue it."""
+        uq = self.generator.generate(kq)
+        self.batcher.submit(uq)
+        self._submitted.append(uq)
+        return uq
+
+    def submit_user_query(self, uq: UserQuery) -> None:
+        """Enqueue a pre-expanded user query (workload replay)."""
+        self.batcher.submit(uq)
+        self._submitted.append(uq)
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self) -> EngineReport:
+        """Process every submitted query to completion.
+
+        Operation is continuous (Section 2: "we do not discard the
+        query plan graph and its state -- rather, we take subsequent
+        queries and attempt to graft them onto the existing graph"):
+        each batch's queries are grafted onto their plan graphs at
+        dispatch time, *while earlier queries may still be executing*;
+        after the last batch, every graph drains to completion.
+        """
+        for batch in self.batcher.drain():
+            self._run_batch(batch)
+        for graph in self.qs.graphs.values():
+            ATCController(graph, self.qs).run_until_complete()
+            self.qs.enforce_budget(graph)
+        report = EngineReport(config=self.config)
+        report.metrics = self.qs.merged_metrics()
+        for graph in self.qs.graphs.values():
+            for uq_id, rm in graph.rank_merges.items():
+                report.answers[uq_id] = rm.answers
+            report.graph_summaries[graph.graph_id] = {
+                "clock": graph.clock.now,
+                "units": len(graph.units),
+                "nodes": len(graph.nodes),
+                "splits": graph.split_count(),
+                "state_tuples": graph.state_size(),
+                "epoch": graph.epoch,
+            }
+        return report
+
+    def _run_batch(self, batch: Batch) -> None:
+        """Graft one batch onto its (possibly still running) graphs.
+
+        Each target graph first executes up to the batch's dispatch
+        time -- queries already in flight keep progressing -- then the
+        new queries are optimized and grafted mid-execution, exactly
+        the dynamic behaviour of Section 6.  All queries on one graph
+        contend for its single ATC; ATC-CL's multiple graphs proceed on
+        parallel clocks.
+        """
+        groups = self._optimization_groups(batch)
+        for graph_id, uqs in groups:
+            graph = self.qs.get_or_create_graph(graph_id)
+            ATCController(graph, self.qs).run_until(batch.dispatch_time)
+            graph.clock.advance_to(batch.dispatch_time)
+            dispatched = graph.clock.now
+            self._optimize_and_graft(graph, uqs)
+            for uq in uqs:
+                graph.metrics.record_uq(UQRecord(
+                    uq_id=uq.uq_id,
+                    arrival=uq.arrival,
+                    dispatched=dispatched,
+                    started=graph.clock.now,
+                ))
+
+    def _optimization_groups(self, batch: Batch
+                             ) -> list[tuple[str, list[UserQuery]]]:
+        """Partition a batch into per-graph optimization groups.
+
+        ATC-CQ / ATC-UQ optimize each user query alone (no multi-query
+        optimization); ATC-FULL optimizes the whole batch together;
+        ATC-CL optimizes per cluster.  Several groups may target the
+        same graph -- their optimizer invocations serialize on that
+        graph's clock, their execution interleaves.
+        """
+        mode = self.config.mode
+        if mode in (SharingMode.ATC_CQ, SharingMode.ATC_UQ):
+            return [(self.qs.graph_id_for(uq), [uq]) for uq in batch.uqs]
+        groups: dict[str, list[UserQuery]] = {}
+        for uq in batch.uqs:
+            groups.setdefault(self.qs.graph_id_for(uq), []).append(uq)
+        return sorted(groups.items())
+
+    def _optimize_and_graft(self, graph: PlanGraph,
+                            uqs: list[UserQuery]) -> None:
+        sharing = self.config.shares_within_uq
+        cqs = [cq for uq in uqs for cq in uq.cqs]
+        scope = graph.graph_id if self.config.shares_across_uqs \
+            else uqs[0].uq_id
+        oracle = self.qs.oracle_for(graph) if self.config.reuses_state \
+            else None
+
+        started = time.perf_counter()
+        candidate_set = enumerate_candidates(
+            cqs, self.federation, self.cost_model, self.config,
+            sharing=sharing,
+        )
+        streamable = {}
+        for cq in cqs:
+            aliases = streamable_aliases(cq, self.federation, self.config)
+            if not aliases:
+                # Safeguard: a CQ whose every atom is score-less and
+                # large still needs one driving stream; pick the
+                # smallest relation.
+                fallback = min(
+                    cq.expr.atoms,
+                    key=lambda a: self.federation.cardinality(a.relation),
+                )
+                aliases = {fallback.alias}
+            streamable[cq.cq_id] = aliases
+        search = BestPlanSearch(
+            cqs=cqs,
+            candidates=candidate_set,
+            cost_model=self.cost_model,
+            config=self.config,
+            streamable=streamable,
+            probes={},
+            oracle=oracle,
+        )
+        result = search.run()
+        plan = factorize(result, cqs, self.cost_model, scope,
+                         sharing=sharing)
+        wall = time.perf_counter() - started
+        graph.clock.advance(wall)
+        graph.metrics.optimizer_records.append(OptimizerRecord(
+            candidate_count=result.searched_candidates
+            + len(candidate_set.pushdowns),
+            plans_explored=result.plans_explored,
+            elapsed_wall=wall,
+            batch_size=len(uqs),
+        ))
+        self.qs.register_plan(graph, plan, uqs)
+        self.qs.unpin_all(graph)

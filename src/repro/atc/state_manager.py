@@ -1,0 +1,360 @@
+"""The query state (QS) manager.
+
+Section 3: "The query state manager is responsible for managing the set
+of query plan graphs that occupy the CPU and memory."  Concretely, this
+module owns:
+
+* the plan graphs (one for ATC-FULL, one per cluster for ATC-CL, one
+  per user query for ATC-CQ/UQ);
+* **grafting** (Section 6.2): matching a new factorized plan against
+  the operators already in a graph, node id by node id, creating only
+  the missing operators and splicing split edges into existing ones;
+* **lazy CQ activation** driven by the rank-merge frontier, which is
+  what keeps the number of executed CQs per user query small (Table 4);
+* **state recovery** (Algorithm 2): when an activated CQ's plan touches
+  state that predates it, the missed results are recomputed from the
+  modules' insertion-ordered linked lists -- new m-join nodes are
+  *seeded* from their suppliers' stored tuples (the recovery join:
+  replay one input, treat the others as indexed random-access inputs),
+  and the rank-merge receives a free, score-ordered replay stream of
+  the final node's existing output as an additional ranked input;
+* **unlinking and eviction** (Section 6.3): completed queries are
+  unlinked back to the nearest split; state is retained for reuse until
+  the memory budget forces LRU (size-tiebreak) eviction, after which a
+  source must be re-streamed from the site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.config import ExecutionConfig, SharingMode
+from repro.common.errors import StateError
+from repro.data.database import Federation
+from repro.keyword.queries import ConjunctiveQuery, UserQuery
+from repro.operators.nodes import InputUnit, MJoinNode, ProbeTarget, RecoveryUnit
+from repro.operators.rankmerge import RankMerge
+from repro.optimizer.clustering import IncrementalClusterer
+from repro.optimizer.cost import ReuseOracle
+from repro.optimizer.factorize import ComponentSpec, FactorizedPlan, SourceSpec
+from repro.plan.graph import PlanGraph
+
+
+@dataclass
+class CQPlanInfo:
+    """Where one conjunctive query's plan lives inside a graph."""
+
+    cq: ConjunctiveQuery
+    final_node_id: str
+    stream_source_ids: tuple[str, ...]
+    probe_atoms: tuple[str, ...]
+    scope: str
+
+
+class GraphReuseOracle(ReuseOracle):
+    """Reuse-aware costing hooks for one graph (Section 6.1).
+
+    The expression-to-unit map is snapshotted at construction (one
+    oracle is created per optimizer invocation), so the hot
+    ``tuples_already_read`` path is a dict lookup.
+    """
+
+    def __init__(self, graph: PlanGraph) -> None:
+        self.graph = graph
+        self._units_by_expr: dict = {}
+        for unit in graph.units.values():
+            self._units_by_expr.setdefault(unit.expr, unit)
+
+    def _unit_for(self, expr) -> InputUnit | None:
+        return self._units_by_expr.get(expr)
+
+    def tuples_already_read(self, expr) -> int:
+        unit = self._unit_for(expr)
+        if unit is None:
+            return 0
+        return unit.module.size
+
+    def pin(self, expr) -> None:
+        unit = self._unit_for(expr)
+        if unit is not None:
+            unit.pinned = True
+
+
+class QueryStateManager:
+    """Owns plan graphs and all dynamic plan surgery."""
+
+    def __init__(self, federation: Federation, config: ExecutionConfig) -> None:
+        self.federation = federation
+        self.config = config
+        self.graphs: dict[str, PlanGraph] = {}
+        self.specs: dict[str, dict[str, SourceSpec | ComponentSpec]] = {}
+        self.cq_plans: dict[str, dict[str, CQPlanInfo]] = {}
+        self.clusterer = IncrementalClusterer(
+            merge_threshold=config.cluster_jaccard,
+            min_refs=config.cluster_min_refs,
+        )
+
+    # -- graph routing -----------------------------------------------------------
+
+    def graph_id_for(self, uq: UserQuery) -> str:
+        """Which plan graph a user query executes on, per sharing mode.
+
+        The paper's middleware is one machine: ATC-CQ, ATC-UQ, and
+        ATC-FULL all schedule every query through a single ATC (the
+        modes differ in what they *share*, not in how many schedulers
+        exist), while ATC-CL is precisely the configuration that gains
+        parallelism by running one ATC per query cluster (Section 6.1:
+        "To improve concurrency, we can generate multiple query plan
+        graphs, each with their own ATC").
+        """
+        if self.config.mode is SharingMode.ATC_CL:
+            return self.clusterer.assign(uq)
+        return "main"
+
+    def get_or_create_graph(self, graph_id: str) -> PlanGraph:
+        graph = self.graphs.get(graph_id)
+        if graph is None:
+            graph = PlanGraph(graph_id, self.federation, self.config)
+            self.graphs[graph_id] = graph
+            self.specs[graph_id] = {}
+            self.cq_plans[graph_id] = {}
+        return graph
+
+    def oracle_for(self, graph: PlanGraph) -> GraphReuseOracle:
+        return GraphReuseOracle(graph)
+
+    # -- grafting -----------------------------------------------------------------
+
+    def register_plan(self, graph: PlanGraph, plan: FactorizedPlan,
+                      uqs: list[UserQuery]) -> None:
+        """Merge a factorized plan's specs into the graph's registry and
+        create the user queries' rank-merge operators.
+
+        Operators themselves are instantiated lazily on CQ activation;
+        matching is by node id (expression + input structure), so a
+        spec identical to an existing operator reuses it -- that is the
+        graft -- and only genuinely new segments will create operators.
+        """
+        registry = self.specs[graph.graph_id]
+        for source_id, spec in plan.sources.items():
+            registry.setdefault(source_id, spec)
+        for comp_id, spec in plan.components.items():
+            registry.setdefault(comp_id, spec)
+        plans = self.cq_plans[graph.graph_id]
+        cq_by_id = {
+            cq.cq_id: cq for uq in uqs for cq in uq.cqs
+        }
+        for cq_id, final_id in plan.cq_final.items():
+            if cq_id not in cq_by_id:
+                continue
+            plans[cq_id] = CQPlanInfo(
+                cq=cq_by_id[cq_id],
+                final_node_id=final_id,
+                stream_source_ids=plan.cq_stream_sources.get(cq_id, ()),
+                probe_atoms=plan.cq_probe_atoms.get(cq_id, ()),
+                scope=plan.scope,
+            )
+        for uq in uqs:
+            if uq.uq_id in graph.rank_merges:
+                raise StateError(
+                    f"user query {uq.uq_id} already registered on "
+                    f"{graph.graph_id}"
+                )
+            graph.rank_merges[uq.uq_id] = RankMerge(uq)
+
+    def unpin_all(self, graph: PlanGraph) -> None:
+        for unit in graph.units.values():
+            unit.pinned = False
+
+    # -- node instantiation ------------------------------------------------------------
+
+    def ensure_node(self, graph: PlanGraph, node_id: str
+                    ) -> InputUnit | MJoinNode:
+        """Instantiate (or reuse, or revive) one plan-graph operator.
+
+        Revival of a detached node clears its stale module and re-seeds
+        it from the suppliers' current state -- the recomputation path
+        of Section 6.3's cache discussion.
+        """
+        if node_id in graph.units:
+            return graph.units[node_id]
+        if node_id in graph.nodes:
+            node = graph.nodes[node_id]
+            if node_id in graph.detached:
+                for child_id in self._spec(graph, node_id).stream_children:
+                    child = self.ensure_node(graph, child_id)
+                    if not any(c is node for c in child.consumers):
+                        child.consumers.append(node)
+                node.clear_state()
+                node.seed_from_suppliers()
+                graph.detached.discard(node_id)
+            return node
+        spec = self._spec(graph, node_id)
+        if isinstance(spec, SourceSpec):
+            return graph.create_unit(node_id, spec.expr)
+        children = [self.ensure_node(graph, cid)
+                    for cid in spec.stream_children]
+        targets = []
+        scope = node_id.split(":", 2)[1]
+        for alias in spec.probe_atoms:
+            relation = spec.expr.alias_to_relation[alias]
+            selections = spec.expr.selections_on(alias)
+            source = graph.ra_source_for(relation, selections, scope)
+            targets.append(ProbeTarget(
+                f"{node_id}->ra:{alias}",
+                frozenset((alias,)),
+                "random",
+                ra_source=source,
+                ra_alias=alias,
+            ))
+        caps = {
+            atom.alias: self.federation.stats(atom.relation).max_contribution
+            for atom in spec.expr.atoms
+        }
+        node = MJoinNode(
+            name=node_id,
+            expr=spec.expr,
+            suppliers=children,
+            probe_targets=targets,
+            caps=caps,
+            clock=graph.clock,
+            metrics=graph.metrics,
+            delays=self.config.delays,
+            epoch_of=graph.epoch_of,
+            adaptive=self.config.adaptive_probe_ordering,
+        )
+        node.seed_from_suppliers()
+        for child in children:
+            child.consumers.append(node)
+        graph.nodes[node_id] = node
+        return node
+
+    def _spec(self, graph: PlanGraph, node_id: str
+              ) -> SourceSpec | ComponentSpec:
+        registry = self.specs[graph.graph_id]
+        spec = registry.get(node_id)
+        if spec is None:
+            raise StateError(
+                f"{graph.graph_id}: no spec registered for node {node_id!r}"
+            )
+        return spec
+
+    # -- activation -----------------------------------------------------------------
+
+    def ensure_activation(self, graph: PlanGraph, rm: RankMerge) -> int:
+        """Activate pending CQs while the rank-merge frontier demands it."""
+        activated = 0
+        while rm.should_activate():
+            cq = rm.next_pending()
+            self.activate(graph, rm, cq)
+            activated += 1
+        return activated
+
+    def activate(self, graph: PlanGraph, rm: RankMerge,
+                 cq: ConjunctiveQuery) -> None:
+        """Graft one conjunctive query into the running graph.
+
+        Bumps the epoch (Section 6.2), instantiates the CQ's component
+        chain (new nodes seed themselves from existing supplier state),
+        registers the live stream, and -- when the final operator
+        already holds produced results -- registers a free recovery
+        replay of those results as an additional ranked input, exactly
+        the role of ``CQ^e`` in Algorithm 2.
+        """
+        epoch = graph.next_epoch()
+        info = self._plan_info(graph, cq.cq_id)
+        final = self.ensure_node(graph, info.final_node_id)
+        module = final.module
+        snapshot = module.replay_list() if module is not None else []
+        rm.register_stream(cq, final, kind="live")
+        if snapshot:
+            ordered = sorted(snapshot, key=lambda t: -t.intrinsic)
+            unit = RecoveryUnit(
+                f"rec:{cq.cq_id}:e{epoch}", cq.expr, ordered, graph.metrics,
+            )
+            graph.recovery_units[unit.name] = unit
+            rm.register_stream(cq, unit, kind="recovery")
+            graph.metrics.recovery_queries += 1
+
+    def _plan_info(self, graph: PlanGraph, cq_id: str) -> CQPlanInfo:
+        info = self.cq_plans[graph.graph_id].get(cq_id)
+        if info is None:
+            raise StateError(
+                f"{graph.graph_id}: no plan registered for CQ {cq_id!r}"
+            )
+        return info
+
+    # -- completion and unlinking ---------------------------------------------------------
+
+    def on_complete(self, graph: PlanGraph, rm: RankMerge) -> None:
+        """Unlink a finished user query (Section 6.3): remove its
+        rank-merge taps, then walk backwards detaching operators that no
+        longer route tuples anywhere (stopping at splits that still
+        serve other queries).  State is retained for reuse."""
+        for entry in rm.entries.values():
+            supplier = entry.supplier
+            supplier.consumers = [
+                c for c in supplier.consumers
+                if getattr(c, "merge", None) is not rm
+            ]
+            self._detach_if_orphan(graph, supplier)
+
+    def _detach_if_orphan(self, graph: PlanGraph, supplier) -> None:
+        if supplier.consumers:
+            return
+        if isinstance(supplier, MJoinNode):
+            graph.detached.add(supplier.name)
+            for child in supplier.suppliers:
+                child.consumers = [
+                    c for c in child.consumers if c is not supplier
+                ]
+                self._detach_if_orphan(graph, child)
+        # InputUnits and RecoveryUnits with no consumers simply stop
+        # being read; their state stays cached until eviction.
+
+    # -- eviction -----------------------------------------------------------------------
+
+    def enforce_budget(self, graph: PlanGraph) -> int:
+        """Evict least-recently-used unpinned state until the graph fits
+        the memory budget; returns tuples freed."""
+        budget = self.config.memory_budget_tuples
+        if budget is None:
+            return 0
+        freed = 0
+        if graph.state_size() <= budget:
+            return 0
+        victims: list[tuple[int, int, str, object]] = []
+        for node_id in graph.detached:
+            node = graph.nodes[node_id]
+            victims.append((node.last_used_epoch, -node.state_size(),
+                            f"node:{node_id}", node))
+        for unit_id, unit in graph.units.items():
+            if unit.pinned or unit.consumers:
+                continue
+            victims.append((unit.last_used_epoch, -unit.module.size,
+                            f"unit:{unit_id}", unit))
+        for key, source in graph.ra_sources.items():
+            victims.append((0, -source.cache_size, f"ra:{key}", source))
+        victims.sort()
+        for _epoch, _size, label, victim in victims:
+            if graph.state_size() <= budget:
+                break
+            if isinstance(victim, MJoinNode):
+                freed += victim.clear_state()
+            elif isinstance(victim, InputUnit):
+                freed += victim.module.clear()
+                victim.source.reset()
+            else:
+                freed += victim.clear_cache()
+            graph.metrics.evictions += 1
+        return freed
+
+    # -- aggregate views ---------------------------------------------------------------------
+
+    def merged_metrics(self):
+        from repro.stats.metrics import Metrics
+
+        merged = Metrics()
+        for graph in self.graphs.values():
+            merged.merge_from(graph.metrics)
+        return merged

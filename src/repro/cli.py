@@ -1,0 +1,131 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``search <keywords...>`` -- run one keyword query over the Figure 1
+  federation and print the ranked answers;
+* ``experiment <name>`` -- run one experiment driver (``table4``,
+  ``figure7`` .. ``figure12``, ``ablations``) at quick or paper scale;
+* ``workload`` -- execute the full synthetic workload under a chosen
+  sharing mode and print the per-query report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common.config import ExecutionConfig, SharingMode
+
+EXPERIMENTS = (
+    "table4", "figure7", "figure8", "figure9", "figure10", "figure11",
+    "figure12", "ablations",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Reproduction of 'Sharing Work in Keyword Search "
+                     "over Databases' (SIGMOD 2011)"),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    search = sub.add_parser(
+        "search", help="keyword search over the Figure 1 federation")
+    search.add_argument("keywords", nargs="+",
+                        help="keywords (quote multi-word phrases)")
+    search.add_argument("-k", type=int, default=10, help="top-k (default 10)")
+    search.add_argument("--mode", default="ATC-FULL",
+                        choices=[str(m) for m in SharingMode])
+
+    experiment = sub.add_parser(
+        "experiment", help="run one paper experiment")
+    experiment.add_argument("name", choices=EXPERIMENTS)
+    experiment.add_argument("--scale", default="quick",
+                            choices=("quick", "paper"))
+
+    workload = sub.add_parser(
+        "workload", help="run the 15-query synthetic workload")
+    workload.add_argument("--mode", default="ATC-CL",
+                          choices=[str(m) for m in SharingMode])
+    return parser
+
+
+def _mode_from_name(name: str) -> SharingMode:
+    for mode in SharingMode:
+        if str(mode) == name:
+            return mode
+    raise ValueError(f"unknown mode {name!r}")
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    from repro.atc.engine import QSystemEngine
+    from repro.data.figure1 import figure1_federation
+    from repro.keyword.queries import KeywordQuery
+
+    federation = figure1_federation()
+    config = ExecutionConfig(mode=_mode_from_name(args.mode), k=args.k)
+    engine = QSystemEngine(federation, config)
+    uq = engine.submit(KeywordQuery("Q", tuple(args.keywords), k=args.k))
+    print(f"{len(uq.cqs)} candidate networks; executing...")
+    report = engine.run()
+    for rank, answer in enumerate(report.answers["Q"], start=1):
+        rows = ", ".join(
+            f"{rel}#{tid}" for _a, rel, tid in sorted(answer.provenance))
+        print(f"{rank:3d}. {answer.score:.4f}  {answer.cq_id}  [{rows}]")
+    record = report.metrics.uq_records["Q"]
+    print(f"({record.cqs_executed}/{record.cqs_total} CQs executed, "
+          f"{report.metrics.total_input_tuples} input tuples, "
+          f"{record.latency:.2f} virtual s)")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    from repro.experiments.harness import paper_scale, quick_scale
+
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    scale = quick_scale() if args.scale == "quick" else paper_scale()
+    result = module.run(scale)
+    print(result.table().render())
+    return 0
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    from repro.experiments.harness import (
+        quick_scale,
+        run_workload,
+        synthetic_bundle,
+    )
+
+    scale = quick_scale()
+    bundle = synthetic_bundle(scale, instance=0)
+    mode = _mode_from_name(args.mode)
+    report = run_workload(bundle, scale.with_mode(mode))
+    print(f"mode {mode}: {len(report.answers)} user queries")
+    for uq_id, seconds in report.processing_times().items():
+        record = report.metrics.uq_records[uq_id]
+        print(f"  {uq_id:6s} {seconds:8.3f} virtual s "
+              f"({record.cqs_executed} CQs, "
+              f"{record.results_returned} answers)")
+    metrics = report.metrics
+    print(f"work: {metrics.stream_tuples_read} stream reads + "
+          f"{metrics.probes_performed} probes "
+          f"({metrics.probe_cache_hits} cached)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "search": cmd_search,
+        "experiment": cmd_experiment,
+        "workload": cmd_workload,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Shared infrastructure: errors, seeded randomness, virtual time, config."""
+
+from repro.common.clock import StopWatch, VirtualClock
+from repro.common.config import DelayModel, ExecutionConfig, SharingMode
+from repro.common.errors import (
+    BudgetExceededError,
+    DataError,
+    ExecutionError,
+    OptimizationError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    ScoringError,
+    StateError,
+)
+from repro.common.rng import ZipfSampler, make_rng, poisson_delay, zipf_scores
+
+__all__ = [
+    "BudgetExceededError",
+    "DataError",
+    "DelayModel",
+    "ExecutionConfig",
+    "ExecutionError",
+    "OptimizationError",
+    "QueryError",
+    "ReproError",
+    "SchemaError",
+    "ScoringError",
+    "SharingMode",
+    "StateError",
+    "StopWatch",
+    "VirtualClock",
+    "ZipfSampler",
+    "make_rng",
+    "poisson_delay",
+    "zipf_scores",
+]

@@ -1,0 +1,92 @@
+"""Virtual time.
+
+The paper measures wall-clock latencies that are dominated by simulated
+wide-area delays (Poisson, 2 ms mean per tuple read and per remote
+probe).  Re-running those experiments with real sleeps would make every
+benchmark take hours and be non-deterministic, so this module provides a
+**virtual clock**: a monotone counter of simulated seconds that every
+source read, remote probe, and join probe advances explicitly.
+
+A :class:`VirtualClock` belongs to one ATC (one query plan graph): all
+work scheduled on that graph is serialized on its clock, which is
+exactly how the paper's single-threaded-per-graph middleware behaves and
+is what produces the contention effect of Section 7.1.  Separate plan
+graphs (the ATC-CL and ATC-CQ/UQ configurations) own separate clocks and
+therefore proceed in parallel, subject to query arrival times.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A monotone simulated-time counter measured in seconds."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start before zero, got {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by ``seconds`` (>= 0) and return the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds} (< 0)")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move the clock forward to ``timestamp`` if it is in the future.
+
+        Used when a query *arrives* later than the clock's current
+        position: the ATC was idle in between, so time jumps rather than
+        accumulating work.  Moving to a past timestamp is a no-op (the
+        ATC was busy past that point).
+        """
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VirtualClock(now={self._now:.6f})"
+
+
+class StopWatch:
+    """Accumulates intervals of virtual time under a label.
+
+    The execution-time breakdown of Figure 8 (stream read time, random
+    access time, join time) is assembled from stopwatches: operators
+    bracket each category of work with :meth:`start`/:meth:`stop` or use
+    :meth:`add` for pre-computed durations.
+    """
+
+    __slots__ = ("label", "total", "_started_at")
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.total = 0.0
+        self._started_at: float | None = None
+
+    def start(self, clock: VirtualClock) -> None:
+        if self._started_at is not None:
+            raise RuntimeError(f"stopwatch {self.label!r} already running")
+        self._started_at = clock.now
+
+    def stop(self, clock: VirtualClock) -> float:
+        if self._started_at is None:
+            raise RuntimeError(f"stopwatch {self.label!r} is not running")
+        elapsed = clock.now - self._started_at
+        self._started_at = None
+        self.total += elapsed
+        return elapsed
+
+    def add(self, seconds: float) -> None:
+        """Accumulate a duration measured externally."""
+        if seconds < 0:
+            raise ValueError(f"cannot add negative duration {seconds}")
+        self.total += seconds

@@ -1,0 +1,51 @@
+"""Data substrate: schemas, simulated sites, sources, generators."""
+
+from repro.data.biodb import BioDBConfig, biodb_federation, biodb_schema
+from repro.data.database import Database, Federation, RelationStats
+from repro.data.figure1 import figure1_federation, figure1_schema
+from repro.data.generator import (
+    BIO_VOCABULARY,
+    SyntheticDataGenerator,
+    compute_key_domains,
+)
+from repro.data.gus import GUSConfig, count_relations, gus_federation, gus_schema
+from repro.data.inverted import InvertedIndex, KeywordMatch
+from repro.data.rows import Row, STuple
+from repro.data.schema import Attribute, Relation, Schema, SchemaEdge, link_table
+from repro.data.sources import (
+    EXHAUSTED,
+    ListSource,
+    RandomAccessSource,
+    StreamingSource,
+)
+
+__all__ = [
+    "BIO_VOCABULARY",
+    "Attribute",
+    "BioDBConfig",
+    "Database",
+    "EXHAUSTED",
+    "Federation",
+    "GUSConfig",
+    "InvertedIndex",
+    "KeywordMatch",
+    "ListSource",
+    "RandomAccessSource",
+    "Relation",
+    "RelationStats",
+    "Row",
+    "STuple",
+    "Schema",
+    "SchemaEdge",
+    "StreamingSource",
+    "SyntheticDataGenerator",
+    "biodb_federation",
+    "biodb_schema",
+    "compute_key_domains",
+    "count_relations",
+    "figure1_federation",
+    "figure1_schema",
+    "gus_federation",
+    "gus_schema",
+    "link_table",
+]

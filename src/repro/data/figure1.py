@@ -1,0 +1,116 @@
+"""The paper's Figure 1 running-example schema, verbatim.
+
+Ten relations drawn from real bioinformatics databases, spread over the
+sites named in Example 1, bridged by record-link tables:
+
+* ``UP``  (UniProt protein entries)         -- site ``uniprot``
+* ``TP``  (TblProtein)                      -- site ``prosite``
+* ``E``   (InterPro Entry)                  -- site ``interpro``
+* ``E2M`` (Entry2Meth link)                 -- site ``interpro``
+* ``I2G`` (InterPro2GO link)                -- site ``interpro``
+* ``T``   (GeneOntology Term)               -- site ``geneontology``
+* ``TS``  (Term_Syn synonym link)           -- site ``geneontology``
+* ``G2G`` (Gene2GO link)                    -- site ``geneontology``
+* ``GI``  (NCBI GeneInfo)                   -- site ``ncbi``
+* ``RL``  (RecordLink between UP and TP)    -- site ``uniprot``
+
+The join edges mirror Figure 1; conjunctive queries CQ1..CQ6 from
+Tables 1-3 of the paper are expressible over this schema and are used
+throughout the unit tests and the ``query_refinement`` example.
+"""
+
+from __future__ import annotations
+
+from repro.data.database import Federation
+from repro.data.generator import SyntheticDataGenerator
+from repro.data.schema import Attribute, Relation, Schema, SchemaEdge
+
+
+def figure1_schema() -> Schema:
+    """Build the Figure 1 schema graph."""
+    relations = [
+        Relation("UP", (
+            Attribute("ac", is_key=True),
+            Attribute("nam", is_text=True),
+            Attribute("relevance", is_score=True),
+        ), site="uniprot", node_cost=0.2),
+        Relation("TP", (
+            Attribute("id", is_key=True),
+            Attribute("prot", is_text=True),
+            Attribute("relevance", is_score=True),
+        ), site="prosite", node_cost=0.4),
+        Relation("E", (
+            Attribute("ent", is_key=True),
+            Attribute("name", is_text=True),
+        ), site="interpro", node_cost=0.3),
+        Relation("E2M", (
+            Attribute("ent", is_key=True),
+            Attribute("meth_id", is_key=True),
+        ), site="interpro", node_cost=0.5),
+        Relation("I2G", (
+            Attribute("ent", is_key=True),
+            Attribute("gid", is_key=True),
+        ), site="interpro", node_cost=0.5),
+        Relation("T", (
+            Attribute("gid", is_key=True),
+            Attribute("name", is_text=True),
+            Attribute("score", is_score=True),
+        ), site="geneontology", node_cost=0.2),
+        Relation("TS", (
+            Attribute("gid1", is_key=True),
+            Attribute("gid2", is_key=True),
+            Attribute("score", is_score=True),
+        ), site="geneontology", node_cost=0.6),
+        Relation("G2G", (
+            Attribute("gid", is_key=True),
+            Attribute("giId", is_key=True),
+        ), site="geneontology", node_cost=0.5),
+        Relation("GI", (
+            Attribute("giId", is_key=True),
+            Attribute("gene", is_text=True),
+            Attribute("relevance", is_score=True),
+        ), site="ncbi", node_cost=0.2),
+        Relation("RL", (
+            Attribute("ac", is_key=True),
+            Attribute("ent", is_key=True),
+            Attribute("score", is_score=True),
+        ), site="uniprot", node_cost=0.6),
+    ]
+    edges = [
+        SchemaEdge("UP", "ac", "RL", "ac", cost=0.7, kind="link"),
+        SchemaEdge("RL", "ent", "E", "ent", cost=0.7, kind="link"),
+        SchemaEdge("RL", "ent", "I2G", "ent", cost=0.8, kind="link"),
+        SchemaEdge("TP", "id", "E2M", "meth_id", cost=0.6, kind="fk"),
+        SchemaEdge("E2M", "ent", "E", "ent", cost=0.5, kind="fk"),
+        SchemaEdge("E2M", "ent", "I2G", "ent", cost=0.6, kind="fk"),
+        SchemaEdge("I2G", "gid", "T", "gid", cost=0.4, kind="fk"),
+        SchemaEdge("T", "gid", "TS", "gid1", cost=0.5, kind="syn"),
+        SchemaEdge("TS", "gid2", "G2G", "gid", cost=0.5, kind="syn"),
+        SchemaEdge("T", "gid", "G2G", "gid", cost=0.4, kind="fk"),
+        SchemaEdge("G2G", "giId", "GI", "giId", cost=0.4, kind="fk"),
+    ]
+    return Schema(relations, edges)
+
+
+#: Cardinalities giving a small-but-joinable instance for tests/examples.
+DEFAULT_CARDINALITIES: dict[str, int] = {
+    "UP": 300, "TP": 250, "E": 200, "E2M": 400, "I2G": 400,
+    "T": 300, "TS": 350, "G2G": 450, "GI": 300, "RL": 350,
+}
+
+
+def figure1_federation(seed: int = 7,
+                       cardinalities: dict[str, int] | None = None,
+                       domain_factor: float = 0.25) -> Federation:
+    """A populated federation over the Figure 1 schema.
+
+    ``domain_factor`` is deliberately small so join chains like CQ1's
+    seven-way path actually produce results at these cardinalities.
+    """
+    schema = figure1_schema()
+    federation = Federation(schema)
+    generator = SyntheticDataGenerator(schema, seed=seed,
+                                       domain_factor=domain_factor)
+    generator.populate(federation,
+                       cardinalities or dict(DEFAULT_CARDINALITIES))
+    return federation

@@ -1,0 +1,169 @@
+"""Synthetic data population.
+
+Implements the paper's synthetic-workload recipe (Section 7): relations
+populated with randomly generated tuples whose *scores, join keys, and
+score-function coefficients are drawn from Zipfian distributions*, and
+every synonym/relationship table extended with a similarity-score
+attribute (that extension is done at schema-construction time in
+:mod:`repro.data.gus`; this module fills the values in).
+
+Join keys must actually join: attributes connected by schema edges draw
+from a shared value domain, computed by union-find over the edge set,
+so foreign keys land on existing keys with realistic Zipfian skew.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping, Sequence
+
+from repro.common.rng import ZipfSampler, make_rng
+from repro.data.database import Federation
+from repro.data.schema import Relation, Schema
+
+#: Default vocabulary of "common biological terms" used for text
+#: attributes and keyword workloads; ordered by intended popularity so
+#: Zipfian draws make the head terms dominate, as in the paper.
+BIO_VOCABULARY: tuple[str, ...] = (
+    "protein", "gene", "membrane", "plasma", "metabolism", "kinase",
+    "receptor", "enzyme", "binding", "transcription", "sequence",
+    "family", "domain", "pathway", "mutation", "disease", "cell",
+    "nucleus", "transport", "signal", "ligand", "antibody", "homolog",
+    "mitochondria", "ribosome", "cytoplasm", "polymerase", "helicase",
+    "phosphorylation", "apoptosis", "chromosome", "plasmid", "vesicle",
+    "cortex", "synapse", "hormone", "peptide", "glycoprotein", "lipid",
+    "oxidase",
+)
+
+
+class _DomainUnionFind:
+    """Union-find over (relation, attribute) pairs linked by schema edges.
+
+    Attributes in the same component share a join-key domain, so a
+    foreign key generated on one side can match primary keys generated
+    on the other.
+    """
+
+    def __init__(self) -> None:
+        self._parent: dict[tuple[str, str], tuple[str, str]] = {}
+
+    def find(self, item: tuple[str, str]) -> tuple[str, str]:
+        parent = self._parent.setdefault(item, item)
+        if parent == item:
+            return item
+        root = self.find(parent)
+        self._parent[item] = root
+        return root
+
+    def union(self, a: tuple[str, str], b: tuple[str, str]) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[rb] = ra
+
+
+def compute_key_domains(schema: Schema,
+                        cardinalities: Mapping[str, int],
+                        domain_factor: float = 0.5,
+                        min_domain: int = 8) -> dict[tuple[str, str], int]:
+    """Domain size for every key attribute, shared across join partners.
+
+    A component's domain is sized from the largest table touching it:
+    ``max(min_domain, domain_factor * max_cardinality)``.  A smaller
+    ``domain_factor`` means more duplicate keys, hence higher join
+    fan-out.
+    """
+    uf = _DomainUnionFind()
+    for edge in schema.edges:
+        uf.union((edge.left_relation, edge.left_attr),
+                 (edge.right_relation, edge.right_attr))
+    component_max: dict[tuple[str, str], int] = {}
+    for relation in schema.relations:
+        for attr in relation.key_attributes:
+            root = uf.find((relation.name, attr))
+            cardinality = cardinalities.get(relation.name, 0)
+            component_max[root] = max(component_max.get(root, 0), cardinality)
+    domains: dict[tuple[str, str], int] = {}
+    for relation in schema.relations:
+        for attr in relation.key_attributes:
+            root = uf.find((relation.name, attr))
+            size = max(min_domain, int(domain_factor * component_max[root]))
+            domains[(relation.name, attr)] = size
+    return domains
+
+
+class SyntheticDataGenerator:
+    """Populates a federation with Zipf-skewed synthetic tuples."""
+
+    def __init__(self, schema: Schema, seed: int = 0,
+                 domain_factor: float = 0.5,
+                 score_levels: int = 500,
+                 zipf_theta: float = 1.0,
+                 vocabulary: Sequence[str] = BIO_VOCABULARY,
+                 words_per_text: tuple[int, int] = (2, 5)) -> None:
+        self.schema = schema
+        self.seed = seed
+        self.domain_factor = domain_factor
+        self.score_levels = score_levels
+        self.zipf_theta = zipf_theta
+        self.vocabulary = tuple(vocabulary)
+        self.words_per_text = words_per_text
+
+    def populate(self, federation: Federation,
+                 cardinalities: Mapping[str, int]) -> dict[str, int]:
+        """Fill every relation listed in ``cardinalities``.
+
+        Returns the actual row counts loaded per relation.  Relations
+        absent from the mapping are left empty (useful for tests).
+        """
+        domains = compute_key_domains(self.schema, cardinalities,
+                                      self.domain_factor)
+        loaded: dict[str, int] = {}
+        for relation in self.schema.relations:
+            count = cardinalities.get(relation.name)
+            if not count:
+                continue
+            rows = self._rows_for(relation, count, domains)
+            federation.load(relation.name, rows)
+            loaded[relation.name] = count
+        return loaded
+
+    def _rows_for(self, relation: Relation, count: int,
+                  domains: Mapping[tuple[str, str], int]
+                  ) -> list[dict[str, object]]:
+        rng = make_rng(self.seed, "data", relation.name)
+        key_samplers = {
+            attr: ZipfSampler(domains[(relation.name, attr)],
+                              theta=self.zipf_theta,
+                              rng=make_rng(self.seed, "key",
+                                           relation.name, attr))
+            for attr in relation.key_attributes
+        }
+        score_sampler = ZipfSampler(self.score_levels, theta=self.zipf_theta,
+                                    rng=make_rng(self.seed, "score",
+                                                 relation.name))
+        word_sampler = ZipfSampler(len(self.vocabulary),
+                                   theta=self.zipf_theta,
+                                   rng=make_rng(self.seed, "text",
+                                                relation.name))
+        rows = []
+        for i in range(count):
+            values: dict[str, object] = {}
+            for attr in relation.attributes:
+                if attr.is_key:
+                    values[attr.name] = key_samplers[attr.name].sample()
+                elif attr.is_score:
+                    rank = score_sampler.sample()
+                    values[attr.name] = round(
+                        1.0 - rank / self.score_levels, 6)
+                elif attr.is_text:
+                    values[attr.name] = self._text(rng, word_sampler)
+                else:
+                    values[attr.name] = rng.randrange(1_000_000)
+            rows.append(values)
+        return rows
+
+    def _text(self, rng: random.Random, word_sampler: ZipfSampler) -> str:
+        low, high = self.words_per_text
+        n_words = rng.randint(low, high)
+        words = [self.vocabulary[word_sampler.sample()] for _ in range(n_words)]
+        return " ".join(words)

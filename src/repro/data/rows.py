@@ -1,0 +1,171 @@
+"""Tuple representations.
+
+Two levels exist:
+
+* :class:`Row` -- a base tuple as stored at a site: relation name, a
+  site-local tuple id, and the attribute values.
+
+* :class:`STuple` -- a *scored* tuple flowing through the query plan
+  graph: an immutable set of bindings (alias -> Row) together with each
+  atom's intrinsic score contribution.  Joins merge STuples; the
+  rank-merge operator maps an STuple's contributions through a user
+  query's score function to obtain its final score.
+
+STuples hash and compare by provenance (the set of (alias, relation,
+tid) triples), which is what duplicate elimination during state
+recovery (Section 6.2) relies on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Any
+
+from repro.common.errors import DataError
+
+
+@dataclass(frozen=True)
+class Row:
+    """One base tuple stored at a site."""
+
+    relation: str
+    tid: int
+    values: Mapping[str, Any]
+
+    def __getitem__(self, attr: str) -> Any:
+        try:
+            return self.values[attr]
+        except KeyError:
+            raise DataError(
+                f"row {self.relation}#{self.tid} has no attribute {attr!r}"
+            ) from None
+
+    def get(self, attr: str, default: Any = None) -> Any:
+        return self.values.get(attr, default)
+
+    def __hash__(self) -> int:
+        return hash((self.relation, self.tid))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Row):
+            return NotImplemented
+        return self.relation == other.relation and self.tid == other.tid
+
+    def __repr__(self) -> str:
+        return f"Row({self.relation}#{self.tid})"
+
+
+class STuple:
+    """A scored composite tuple: bindings from aliases to base rows.
+
+    ``contribs`` maps each alias to that atom's intrinsic score
+    contribution (the sum of its score-attribute values; zero for
+    score-less relations).  The *intrinsic* score -- the sum of all
+    contributions -- is the sort key every source and operator uses, as
+    all supported user score functions are monotone transforms of it
+    (see :mod:`repro.scoring`).
+    """
+
+    __slots__ = ("bindings", "contribs", "_provenance", "_intrinsic")
+
+    def __init__(self, bindings: Mapping[str, Row],
+                 contribs: Mapping[str, float]) -> None:
+        if not bindings:
+            raise DataError("an STuple needs at least one binding")
+        if set(bindings) != set(contribs):
+            raise DataError(
+                f"bindings {sorted(bindings)} and contributions "
+                f"{sorted(contribs)} must cover the same aliases"
+            )
+        self.bindings: dict[str, Row] = dict(bindings)
+        self.contribs: dict[str, float] = dict(contribs)
+        self._provenance: frozenset[tuple[str, str, int]] = frozenset(
+            (alias, row.relation, row.tid)
+            for alias, row in self.bindings.items()
+        )
+        self._intrinsic: float = sum(self.contribs.values())
+
+    @classmethod
+    def single(cls, alias: str, row: Row, contrib: float) -> "STuple":
+        return cls({alias: row}, {alias: contrib})
+
+    # -- score access ------------------------------------------------------
+
+    @property
+    def intrinsic(self) -> float:
+        """Sum of all atoms' score contributions."""
+        return self._intrinsic
+
+    @property
+    def aliases(self) -> frozenset[str]:
+        return frozenset(self.bindings)
+
+    @property
+    def provenance(self) -> frozenset[tuple[str, str, int]]:
+        return self._provenance
+
+    def row(self, alias: str) -> Row:
+        try:
+            return self.bindings[alias]
+        except KeyError:
+            raise DataError(f"STuple has no binding for alias {alias!r}") from None
+
+    def value(self, alias: str, attr: str) -> Any:
+        return self.row(alias)[attr]
+
+    # -- composition ---------------------------------------------------------
+
+    def merge(self, other: "STuple") -> "STuple":
+        """Combine two tuples with disjoint aliases into one."""
+        overlap = self.aliases & other.aliases
+        if overlap:
+            raise DataError(
+                f"cannot merge STuples sharing aliases {sorted(overlap)}"
+            )
+        bindings = dict(self.bindings)
+        bindings.update(other.bindings)
+        contribs = dict(self.contribs)
+        contribs.update(other.contribs)
+        return STuple(bindings, contribs)
+
+    def rename(self, mapping: Mapping[str, str]) -> "STuple":
+        """Return a copy with aliases renamed through ``mapping``.
+
+        Aliases missing from the mapping keep their names.  Used when a
+        shared subexpression's output is consumed by a query that refers
+        to the same atoms under different aliases.
+        """
+        bindings = {mapping.get(a, a): row for a, row in self.bindings.items()}
+        contribs = {mapping.get(a, a): c for a, c in self.contribs.items()}
+        if len(bindings) != len(self.bindings):
+            raise DataError(f"alias renaming {dict(mapping)} collapses aliases")
+        return STuple(bindings, contribs)
+
+    def project(self, aliases: frozenset[str] | set[str]) -> "STuple":
+        """Restrict to a subset of aliases."""
+        missing = set(aliases) - set(self.bindings)
+        if missing:
+            raise DataError(f"cannot project on absent aliases {sorted(missing)}")
+        return STuple(
+            {a: self.bindings[a] for a in aliases},
+            {a: self.contribs[a] for a in aliases},
+        )
+
+    # -- value semantics ------------------------------------------------------
+
+    def __hash__(self) -> int:
+        return hash(self._provenance)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, STuple):
+            return NotImplemented
+        return self._provenance == other._provenance
+
+    def __repr__(self) -> str:
+        keys = ", ".join(
+            f"{alias}={row.relation}#{row.tid}"
+            for alias, row in sorted(self.bindings.items())
+        )
+        return f"STuple({keys}; intrinsic={self._intrinsic:.4f})"

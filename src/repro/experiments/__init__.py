@@ -1,0 +1,51 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each driver exposes ``run(scale) -> *Result`` plus a ``main()`` CLI
+entry, and every ``*Result`` can render the paper-style table via
+``.table().render()``.  The benchmark suite wraps these drivers and
+asserts the expected qualitative shapes.
+"""
+
+from repro.experiments import (  # noqa: F401
+    ablations,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    table4,
+)
+from repro.experiments.harness import (
+    ALL_MODES,
+    ExperimentScale,
+    SeriesTable,
+    WorkloadBundle,
+    paper_scale,
+    quick_scale,
+    realdata_bundle,
+    run_all_modes,
+    run_workload,
+    synthetic_bundle,
+)
+
+__all__ = [
+    "ALL_MODES",
+    "ablations",
+    "ExperimentScale",
+    "SeriesTable",
+    "WorkloadBundle",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure7",
+    "figure8",
+    "figure9",
+    "paper_scale",
+    "quick_scale",
+    "realdata_bundle",
+    "run_all_modes",
+    "run_workload",
+    "synthetic_bundle",
+    "table4",
+]

@@ -1,0 +1,81 @@
+"""Figure 10: total work done, 5 versus 15 user queries.
+
+Section 7.3: if state reuse works, the incremental cost of newly posed
+queries should fall over time.  The paper measures *total work* -- the
+number of input tuples consumed -- for answering the first 5 user
+queries versus the full suite of 15, per configuration:
+
+* ATC-CQ and ATC-UQ (no cross-time reuse) need roughly 3x the work for
+  3x the queries;
+* ATC-FULL needs only ~75% more work for the additional 10 queries;
+* ATC-CL lands around 2x -- it shares less than FULL (separate graphs)
+  but far more than the baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import SharingMode
+from repro.experiments.harness import (
+    ALL_MODES,
+    ExperimentScale,
+    SeriesTable,
+    quick_scale,
+    run_workload,
+    synthetic_bundle,
+)
+
+
+@dataclass
+class Figure10Result:
+    """Input tuples consumed for the 5-UQ prefix and the full 15."""
+
+    tuples_5: dict[SharingMode, float]
+    tuples_15: dict[SharingMode, float]
+
+    def table(self) -> SeriesTable:
+        table = SeriesTable(
+            title=("Figure 10: Total work (input tuples consumed), "
+                   "first 5 vs all 15 user queries"),
+            x_label="Config",
+            columns=["5-UQ", "15-UQ", "ratio"],
+        )
+        for mode in ALL_MODES:
+            five = self.tuples_5[mode]
+            fifteen = self.tuples_15[mode]
+            ratio = fifteen / five if five else float("nan")
+            table.add_row(str(mode), five, fifteen, ratio)
+        return table
+
+    def ratio(self, mode: SharingMode) -> float:
+        five = self.tuples_5[mode]
+        return self.tuples_15[mode] / five if five else float("nan")
+
+
+def run(scale: ExperimentScale | None = None) -> Figure10Result:
+    scale = scale or quick_scale()
+    tuples_5 = {mode: 0.0 for mode in ALL_MODES}
+    tuples_15 = {mode: 0.0 for mode in ALL_MODES}
+    for instance in range(scale.n_instances):
+        bundle = synthetic_bundle(scale, instance=instance)
+        for mode in ALL_MODES:
+            config = scale.with_mode(mode)
+            report_5 = run_workload(bundle, config, first_n=5)
+            report_15 = run_workload(bundle, config)
+            tuples_5[mode] += report_5.metrics.total_input_tuples
+            tuples_15[mode] += report_15.metrics.total_input_tuples
+    n = scale.n_instances
+    return Figure10Result(
+        tuples_5={m: v / n for m, v in tuples_5.items()},
+        tuples_15={m: v / n for m, v in tuples_15.items()},
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    result = run()
+    print(result.table().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,86 @@
+"""Figure 11: optimizer running time versus candidate inputs.
+
+Section 7.4: "the main portion of the search is the number of candidate
+expressions considered for push-down ... we plot the number of
+candidate subexpressions for a set of queries, against the time taken
+to generate a plan.  Not surprisingly, the distribution follows an
+exponential curve as the number of candidates increase."
+
+We run the synthetic workload under ATC-FULL (batched in groups of 5,
+as in the paper) across instances and harvest every optimizer
+invocation's ``(candidate count, wall time, plans explored)`` record.
+The driver also fits ``log(time)`` against the candidate count so the
+benchmark can assert superlinear growth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.config import SharingMode
+from repro.experiments.harness import (
+    ExperimentScale,
+    SeriesTable,
+    quick_scale,
+    run_workload,
+    synthetic_bundle,
+)
+
+
+@dataclass
+class Figure11Result:
+    """(candidates, wall seconds, plans explored) per optimizer call."""
+
+    points: list[tuple[int, float, int]]
+
+    def table(self) -> SeriesTable:
+        table = SeriesTable(
+            title="Figure 11: Optimization times vs candidate inputs",
+            x_label="Candidates",
+            columns=["Time (s)", "Plans explored"],
+        )
+        for candidates, seconds, explored in sorted(self.points):
+            table.add_row(candidates, seconds, explored)
+        return table
+
+    def growth_slope(self) -> float:
+        """Least-squares slope of log(plans explored) vs candidates.
+
+        A positive slope indicates the exponential growth the paper
+        observes.  Explored-plan counts are used rather than wall time
+        because they are noise-free; wall time tracks them closely.
+        """
+        points = [(c, math.log(max(e, 1))) for c, _t, e in self.points]
+        if len(points) < 2:
+            return 0.0
+        n = len(points)
+        mean_x = sum(p[0] for p in points) / n
+        mean_y = sum(p[1] for p in points) / n
+        cov = sum((x - mean_x) * (y - mean_y) for x, y in points)
+        var = sum((x - mean_x) ** 2 for x, _y in points)
+        return cov / var if var else 0.0
+
+
+def run(scale: ExperimentScale | None = None) -> Figure11Result:
+    scale = scale or quick_scale()
+    points: list[tuple[int, float, int]] = []
+    for instance in range(scale.n_instances):
+        bundle = synthetic_bundle(scale, instance=instance)
+        report = run_workload(
+            bundle, scale.with_mode(SharingMode.ATC_FULL)
+        )
+        for record in report.metrics.optimizer_records:
+            points.append((record.candidate_count, record.elapsed_wall,
+                           record.plans_explored))
+    return Figure11Result(points)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    result = run()
+    print(result.table().render())
+    print(f"log-growth slope: {result.growth_slope():.4f}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,88 @@
+"""Figure 12: execution times over the Pfam/InterPro dataset.
+
+Section 7.5 re-runs the Figure 7 experiment over real data: 15
+two-keyword user queries (4 CQs each) against the joined Pfam +
+InterPro corpus, k=50, queries posed in sequence with gaps of up to 6
+seconds.  Expected shape, consistent with the synthetic results:
+
+* ATC-UQ gives a minor improvement over ATC-CQ (best case 77% in the
+  paper);
+* ATC-FULL shows few gains -- the larger dataset means more middleware
+  computation and more contention in the single shared graph;
+* ATC-CL's clustered graphs win clearly, especially for the later
+  queries (up to 97% over ATC-CQ / 90% over ATC-UQ in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import SharingMode
+from repro.experiments.harness import (
+    ALL_MODES,
+    ExperimentScale,
+    SeriesTable,
+    quick_scale,
+    realdata_bundle,
+    run_all_modes,
+)
+
+
+@dataclass
+class Figure12Result:
+    latencies: dict[SharingMode, dict[str, float]]
+    cluster_count: dict[SharingMode, int]
+
+    def table(self) -> SeriesTable:
+        table = SeriesTable(
+            title=("Figure 12: Execution times (virtual s) over the "
+                   "Pfam/Interpro-like dataset"),
+            x_label="UQ",
+            columns=[str(m) for m in ALL_MODES],
+        )
+        uq_ids = sorted(
+            next(iter(self.latencies.values())),
+            key=_uq_index,
+        )
+        for uq_id in uq_ids:
+            table.add_row(
+                uq_id,
+                *(self.latencies[mode].get(uq_id, float("nan"))
+                  for mode in ALL_MODES),
+            )
+        return table
+
+    def mean(self, mode: SharingMode) -> float:
+        values = list(self.latencies[mode].values())
+        return sum(values) / len(values) if values else float("nan")
+
+
+def run(scale: ExperimentScale | None = None) -> Figure12Result:
+    scale = scale or quick_scale()
+    bundle = realdata_bundle(scale)
+    reports = run_all_modes(bundle, scale.execution)
+    latencies = {
+        mode: dict(report.processing_times()) for mode, report in reports.items()
+    }
+    clusters = {
+        mode: len(report.graph_summaries)
+        for mode, report in reports.items()
+    }
+    return Figure12Result(latencies, clusters)
+
+
+def _uq_index(uq_id: str) -> int:
+    digits = "".join(ch for ch in uq_id if ch.isdigit())
+    return int(digits) if digits else 0
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    result = run()
+    print(result.table().render())
+    for mode in ALL_MODES:
+        print(f"mean({mode}) = {result.mean(mode):.3f}s "
+              f"[{result.cluster_count[mode]} graph(s)]")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,103 @@
+"""Figure 7: per-UQ running times under the four configurations.
+
+The paper plots, on a log scale, the time to return the top-50 results
+of each of the 15 synthetic user queries under ATC-CQ, ATC-UQ,
+ATC-FULL, and ATC-CL, averaged over instances.  The expected shape:
+
+* ATC-UQ beats ATC-CQ "virtually across the board" (within-query
+  sharing always helps);
+* ATC-FULL beats ATC-UQ only on a minority of queries -- cross-query
+  sharing reduces work but a single shared graph makes queries wait on
+  each other's reads (contention);
+* ATC-CL separates contending queries and wins overall (up to 90% over
+  the baseline in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import SharingMode
+from repro.experiments.harness import (
+    ALL_MODES,
+    ExperimentScale,
+    SeriesTable,
+    quick_scale,
+    run_all_modes,
+    synthetic_bundle,
+)
+
+
+@dataclass
+class Figure7Result:
+    """Per-UQ mean latency (virtual seconds) per configuration."""
+
+    latencies: dict[SharingMode, dict[str, float]]
+
+    def table(self) -> SeriesTable:
+        table = SeriesTable(
+            title=("Figure 7: Running times (virtual s) to return the "
+                   "top-k results for each user query"),
+            x_label="UQ",
+            columns=[str(m) for m in ALL_MODES],
+        )
+        uq_ids = sorted(
+            next(iter(self.latencies.values())),
+            key=_uq_index,
+        )
+        for uq_id in uq_ids:
+            table.add_row(
+                uq_id,
+                *(self.latencies[mode].get(uq_id, float("nan"))
+                  for mode in ALL_MODES),
+            )
+        return table
+
+    def mean(self, mode: SharingMode) -> float:
+        values = list(self.latencies[mode].values())
+        return sum(values) / len(values) if values else float("nan")
+
+    def wins(self, better: SharingMode, worse: SharingMode) -> int:
+        """How many UQs ran strictly faster under ``better``."""
+        count = 0
+        for uq_id, latency in self.latencies[better].items():
+            if latency < self.latencies[worse].get(uq_id, float("inf")):
+                count += 1
+        return count
+
+
+def run(scale: ExperimentScale | None = None) -> Figure7Result:
+    scale = scale or quick_scale()
+    sums: dict[SharingMode, dict[str, float]] = {m: {} for m in ALL_MODES}
+    counts: dict[SharingMode, dict[str, int]] = {m: {} for m in ALL_MODES}
+    for instance in range(scale.n_instances):
+        bundle = synthetic_bundle(scale, instance=instance)
+        reports = run_all_modes(bundle, scale.execution)
+        for mode, report in reports.items():
+            for uq_id, latency in report.processing_times().items():
+                sums[mode][uq_id] = sums[mode].get(uq_id, 0.0) + latency
+                counts[mode][uq_id] = counts[mode].get(uq_id, 0) + 1
+    latencies = {
+        mode: {
+            uq_id: sums[mode][uq_id] / counts[mode][uq_id]
+            for uq_id in sums[mode]
+        }
+        for mode in ALL_MODES
+    }
+    return Figure7Result(latencies)
+
+
+def _uq_index(uq_id: str) -> int:
+    digits = "".join(ch for ch in uq_id if ch.isdigit())
+    return int(digits) if digits else 0
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    result = run()
+    print(result.table().render())
+    for mode in ALL_MODES:
+        print(f"mean({mode}) = {result.mean(mode):.3f}s")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,79 @@
+"""Figure 8: breakdown of execution time by operation.
+
+The paper divides total execution time into three operations: reading
+tuples from the streaming sources (*Stream read time*), probing remote
+sources for two-way semijoins (*Random access time*), and in-memory
+joins (*Join time*), normalized per configuration.
+
+Expected shape: the sharing configurations (ATC-UQ/FULL/CL) spend a
+much smaller fraction on stream reads than ATC-CQ -- they share and
+reuse tuples -- but a larger fraction probing remote sources, since
+probes against score-less relations cannot be amortized by sorting and
+the threshold bookkeeping demands them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import SharingMode
+from repro.experiments.harness import (
+    ALL_MODES,
+    ExperimentScale,
+    SeriesTable,
+    quick_scale,
+    run_all_modes,
+    synthetic_bundle,
+)
+
+CATEGORIES = ("stream", "random_access", "join")
+
+
+@dataclass
+class Figure8Result:
+    """Per-mode fractions of total time per category."""
+
+    fractions: dict[SharingMode, dict[str, float]]
+    absolute: dict[SharingMode, dict[str, float]]
+
+    def table(self) -> SeriesTable:
+        table = SeriesTable(
+            title="Figure 8: Breakdown of execution time (fractions)",
+            x_label="Config",
+            columns=["Stream read", "Random access", "Join"],
+        )
+        for mode in ALL_MODES:
+            fracs = self.fractions[mode]
+            table.add_row(str(mode), fracs["stream"],
+                          fracs["random_access"], fracs["join"])
+        return table
+
+
+def run(scale: ExperimentScale | None = None) -> Figure8Result:
+    scale = scale or quick_scale()
+    totals: dict[SharingMode, dict[str, float]] = {
+        mode: {c: 0.0 for c in CATEGORIES} for mode in ALL_MODES
+    }
+    for instance in range(scale.n_instances):
+        bundle = synthetic_bundle(scale, instance=instance)
+        reports = run_all_modes(bundle, scale.execution)
+        for mode, report in reports.items():
+            totals[mode]["stream"] += report.metrics.stream_read_time
+            totals[mode]["random_access"] += report.metrics.random_access_time
+            totals[mode]["join"] += report.metrics.join_time
+    fractions = {}
+    for mode, values in totals.items():
+        total = sum(values.values())
+        fractions[mode] = {
+            category: (value / total if total else 0.0)
+            for category, value in values.items()
+        }
+    return Figure8Result(fractions, totals)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().table().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

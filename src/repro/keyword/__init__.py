@@ -1,0 +1,17 @@
+"""Keyword-search front end: matching, candidate networks, query IR."""
+
+from repro.keyword.candidates import CandidateNetworkGenerator
+from repro.keyword.queries import (
+    ConjunctiveQuery,
+    KeywordQuery,
+    RankedAnswer,
+    UserQuery,
+)
+
+__all__ = [
+    "CandidateNetworkGenerator",
+    "ConjunctiveQuery",
+    "KeywordQuery",
+    "RankedAnswer",
+    "UserQuery",
+]

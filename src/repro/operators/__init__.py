@@ -1,0 +1,23 @@
+"""Execution operators: access modules, m-joins, rank-merge."""
+
+from repro.operators.access import AccessModule, ModuleProbeView
+from repro.operators.nodes import (
+    InputUnit,
+    MJoinNode,
+    ProbeTarget,
+    RecoveryUnit,
+    Supplier,
+)
+from repro.operators.rankmerge import CQStreamEntry, RankMerge
+
+__all__ = [
+    "AccessModule",
+    "CQStreamEntry",
+    "InputUnit",
+    "MJoinNode",
+    "ModuleProbeView",
+    "ProbeTarget",
+    "RankMerge",
+    "RecoveryUnit",
+    "Supplier",
+]

@@ -1,0 +1,584 @@
+"""Plan-graph operator nodes: input units and adaptive m-joins.
+
+The query plan graph (Section 4) is a DAG whose vertices *supply*
+score-ordered tuple streams to downstream consumers:
+
+* :class:`InputUnit` wraps one input ``J`` of the input assignment
+  ``(I, I-map)``: a streaming source plus the shared
+  :class:`~repro.operators.access.AccessModule` all consuming m-joins
+  probe (the STeM of [24]).
+
+* :class:`RecoveryUnit` wraps the free replay stream of Algorithm 2 --
+  a module's pre-epoch linked list -- and deliberately does *not*
+  re-insert tuples into any module.
+
+* :class:`MJoinNode` is the m-join / STeM-eddy operator: it consumes
+  one or more supplier streams, probes the other suppliers' modules and
+  the random-access sources according to an adaptively re-ordered probe
+  sequence, buffers join results, and *releases* them in nonincreasing
+  intrinsic-score order gated by an HRJN-style corner bound -- which is
+  what entitles downstream operators to treat every edge of the plan
+  graph as a sorted stream.
+
+The *split operator* of the paper is realised by the ``consumers`` fan
+out list present on every supplier: a supplier with more than one
+consumer is a split (the plan graph reports it as such).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from collections.abc import Mapping, Sequence
+from typing import Any, Protocol
+
+from repro.common.clock import VirtualClock
+from repro.common.config import DelayModel
+from repro.common.errors import ExecutionError
+from repro.data.rows import STuple
+from repro.data.sources import EXHAUSTED, ListSource, RandomAccessSource, StreamingSource
+from repro.operators.access import AccessModule, ModuleProbeView
+from repro.plan.expressions import SPJ, JoinPred
+from repro.stats.metrics import Metrics
+
+
+class Consumer(Protocol):
+    """Anything that receives released tuples from a supplier."""
+
+    def on_arrival(self, supplier: "Supplier", tup: STuple) -> None: ...
+
+
+class Supplier(Protocol):
+    """Anything that emits a sorted stream into the plan graph."""
+
+    name: str
+    expr: SPJ
+    consumers: list[Consumer]
+    module: AccessModule | None
+
+    def bound(self) -> float: ...
+
+
+class InputUnit:
+    """One streaming input ``J``: source + shared state module.
+
+    Reading a tuple inserts it into the module (under the graph's
+    current epoch) and fans it out to every consumer -- the fan-out is
+    the split operator.  The module is shared by all m-joins that probe
+    this input, and it is the state that later queries reuse.
+    """
+
+    def __init__(self, name: str, expr: SPJ,
+                 source: StreamingSource | ListSource,
+                 clock: VirtualClock, metrics: Metrics,
+                 delays: DelayModel) -> None:
+        self.name = name
+        self.expr = expr
+        self.source = source
+        self.module = AccessModule(f"module:{name}")
+        self.consumers: list[Consumer] = []
+        self.clock = clock
+        self.metrics = metrics
+        self.delays = delays
+        self.pinned = False
+        self.last_used_epoch = 0
+
+    def bound(self) -> float:
+        return self.source.bound()
+
+    @property
+    def exhausted(self) -> bool:
+        return self.source.exhausted
+
+    @property
+    def tuples_read(self) -> int:
+        return self.source.tuples_read
+
+    def read_and_route(self, epoch: int) -> STuple | None:
+        """Pull one tuple from the source, store it, fan it out."""
+        tup = self.source.read()
+        if tup is None:
+            return None
+        self.module.insert(tup, epoch)
+        self.clock.advance(self.delays.cpu_insert)
+        self.metrics.record_insert(self.delays.cpu_insert)
+        self.last_used_epoch = epoch
+        for consumer in list(self.consumers):
+            consumer.on_arrival(self, tup)
+        return tup
+
+    def readable(self) -> bool:
+        return not self.source.exhausted
+
+    def __repr__(self) -> str:
+        return (f"InputUnit({self.name!r}, read={self.tuples_read}, "
+                f"consumers={len(self.consumers)})")
+
+
+class RecoveryUnit:
+    """The replay stream ``J^e`` of Algorithm 2.
+
+    Reads are free (the tuples are already in memory, already paid
+    for), and nothing is re-inserted into modules -- the state already
+    exists; re-inserting would duplicate it.
+    """
+
+    def __init__(self, name: str, expr: SPJ, tuples: Sequence[STuple],
+                 metrics: Metrics) -> None:
+        self.name = name
+        self.expr = expr
+        self.source = ListSource(name, tuples, charge_free=True,
+                                 metrics=metrics)
+        self.module: AccessModule | None = None
+        self.consumers: list[Consumer] = []
+        self.metrics = metrics
+
+    def bound(self) -> float:
+        return self.source.bound()
+
+    @property
+    def exhausted(self) -> bool:
+        return self.source.exhausted
+
+    def read_and_route(self, epoch: int) -> STuple | None:
+        tup = self.source.read()  # counts as reuse inside the source
+        if tup is None:
+            return None
+        for consumer in list(self.consumers):
+            consumer.on_arrival(self, tup)
+        return tup
+
+    def readable(self) -> bool:
+        return not self.source.exhausted
+
+    def __repr__(self) -> str:
+        return f"RecoveryUnit({self.name!r}, remaining={self.source.remaining()})"
+
+
+class ProbeTarget:
+    """One step of an m-join probe sequence: resolves a set of aliases.
+
+    ``lookup`` answers "which stored/probe-able tuples join with this
+    partial binding" -- backed by a shared module (stream inputs), a
+    pre-epoch module view (recovery), or a remote random-access source
+    (probe atoms).
+    """
+
+    def __init__(self, name: str, aliases: frozenset[str],
+                 kind: str,
+                 module: AccessModule | None = None,
+                 before_epoch: int | None = None,
+                 ra_source: RandomAccessSource | None = None,
+                 ra_alias: str | None = None,
+                 ra_contribution: float = 0.0) -> None:
+        if kind not in ("module", "view", "random"):
+            raise ExecutionError(f"unknown probe target kind {kind!r}")
+        self.name = name
+        self.aliases = aliases
+        self.kind = kind
+        self.module = module
+        self.before_epoch = before_epoch
+        self.ra_source = ra_source
+        self.ra_alias = ra_alias
+        self.probes = 0
+        self.matches = 0
+
+    def lookup(self, alias: str, attr: str, value: Any) -> list[STuple]:
+        if self.kind in ("module", "view"):
+            assert self.module is not None
+            self.module.ensure_index(alias, attr)
+            return self.module.probe(alias, attr, value,
+                                     before_epoch=self.before_epoch)
+        assert self.ra_source is not None and self.ra_alias is not None
+        return self.ra_source.probe_stuples(self.ra_alias, attr, value)
+
+    @property
+    def observed_fanout(self) -> float:
+        """Matches per probe so far; optimistic 1.0 before evidence."""
+        if self.probes == 0:
+            return 1.0
+        return self.matches / self.probes
+
+    def __repr__(self) -> str:
+        return f"ProbeTarget({self.name!r}, kind={self.kind})"
+
+
+class MJoinNode:
+    """Adaptive m-way join over supplier streams and probe targets.
+
+    Parameters
+    ----------
+    expr:
+        The full expression this component computes.  Its aliases are
+        the disjoint union of the supplier expressions' aliases and the
+        probed atoms.
+    suppliers:
+        Upstream stream inputs (InputUnits, RecoveryUnits, or other
+        MJoinNodes).  Their modules hold the probe-able state.
+    probe_targets:
+        Targets for the aliases not covered by any supplier.
+    caps:
+        Per-alias intrinsic contribution caps (for corner bounds).
+    resequence_interval:
+        Re-derive the probe order from monitored selectivities every
+        this many arrivals (the runtime adaptivity of [24]).
+    """
+
+    def __init__(self, name: str, expr: SPJ,
+                 suppliers: Sequence[Supplier],
+                 probe_targets: Sequence[ProbeTarget],
+                 caps: Mapping[str, float],
+                 clock: VirtualClock, metrics: Metrics,
+                 delays: DelayModel,
+                 epoch_of: Any,
+                 resequence_interval: int = 64,
+                 before_epoch: int | None = None,
+                 adaptive: bool = True) -> None:
+        self.name = name
+        self.expr = expr
+        self.suppliers = list(suppliers)
+        self.probe_targets = list(probe_targets)
+        self.caps = dict(caps)
+        self.clock = clock
+        self.metrics = metrics
+        self.delays = delays
+        self._epoch_of = epoch_of
+        self.resequence_interval = resequence_interval
+        self.before_epoch = before_epoch
+        self.adaptive = adaptive
+        self.module = AccessModule(f"module:{name}")
+        self.consumers: list[Consumer] = []
+        self.pinned = False
+        self.last_used_epoch = 0
+
+        covered: set[str] = set()
+        for supplier in self.suppliers:
+            overlap = covered & set(supplier.expr.aliases)
+            if overlap:
+                raise ExecutionError(
+                    f"{name}: suppliers overlap on aliases {sorted(overlap)}"
+                )
+            covered.update(supplier.expr.aliases)
+        for target in self.probe_targets:
+            covered.update(target.aliases)
+        if covered != set(expr.aliases):
+            raise ExecutionError(
+                f"{name}: inputs cover {sorted(covered)} but expression "
+                f"needs {sorted(expr.aliases)}"
+            )
+        # Supplier-module probe targets for stream inputs: when a tuple
+        # arrives from one supplier, the others are probed via their
+        # shared modules (or pre-epoch views for recovery nodes).
+        self._supplier_targets: dict[int, ProbeTarget] = {}
+        for idx, supplier in enumerate(self.suppliers):
+            if supplier.module is None:
+                continue
+            kind = "module" if before_epoch is None else "view"
+            self._supplier_targets[idx] = ProbeTarget(
+                f"{name}<-{supplier.name}",
+                frozenset(supplier.expr.aliases),
+                kind,
+                module=supplier.module,
+                before_epoch=before_epoch,
+            )
+        self._crossing_preds = self._compute_crossing_preds()
+        self._ensure_indexes()
+        self._buffer: list[tuple[float, int, STuple]] = []
+        self._counter = itertools.count()
+        self._arrivals = 0
+        self._released = 0
+        # Corner bounds are evaluated on every scheduling step; cache
+        # the per-supplier cap totals so each evaluation is O(streams).
+        self._supplier_tops = [
+            sum(self.caps[a] for a in s.expr.aliases) for s in self.suppliers
+        ]
+        self._tops_total = sum(self._supplier_tops)
+        self._probe_cap = sum(
+            self._top_of(t.aliases) for t in self.probe_targets
+        )
+
+    # -- static structure -------------------------------------------------------
+
+    def _compute_crossing_preds(self) -> dict[str, list[JoinPred]]:
+        """For each probe-target name, the predicates crossing into it."""
+        out: dict[str, list[JoinPred]] = {}
+        for target in self._all_targets():
+            preds = [
+                p for p in self.expr.joins
+                if (p.left_alias in target.aliases)
+                != (p.right_alias in target.aliases)
+            ]
+            if not preds:
+                raise ExecutionError(
+                    f"{self.name}: target {target.name!r} has no join "
+                    "predicate connecting it to the rest of the expression"
+                )
+            out[target.name] = preds
+        return out
+
+    def _all_targets(self) -> list[ProbeTarget]:
+        return list(self._supplier_targets.values()) + self.probe_targets
+
+    def _ensure_indexes(self) -> None:
+        for target in self._supplier_targets.values():
+            assert target.module is not None
+            for pred in self._preds_for(target):
+                for alias, attr in ((pred.left_alias, pred.left_attr),
+                                    (pred.right_alias, pred.right_attr)):
+                    if alias in target.aliases:
+                        target.module.ensure_index(alias, attr)
+
+    def _preds_for(self, target: ProbeTarget) -> list[JoinPred]:
+        return self._crossing_preds[target.name]
+
+    # -- bounds -----------------------------------------------------------------
+
+    def _top_of(self, aliases: frozenset[str]) -> float:
+        return sum(self.caps[a] for a in aliases)
+
+    def corner_bound(self) -> float:
+        """HRJN corner bound on the intrinsic score of any join result
+        not yet in the buffer: some stream contributes its next-unseen
+        tuple (bounded by the stream bound) and everything else its cap.
+        """
+        best = -math.inf
+        for idx, supplier in enumerate(self.suppliers):
+            s_i = supplier.bound()
+            if s_i == EXHAUSTED:
+                continue
+            value = s_i + self._tops_total - self._supplier_tops[idx]
+            if value > best:
+                best = value
+        if best == -math.inf:
+            return -math.inf
+        return best + self._probe_cap
+
+    def bound(self) -> float:
+        """Bound on the intrinsic score of the next *released* tuple."""
+        corner = self.corner_bound()
+        if self._buffer:
+            return max(corner, -self._buffer[0][0])
+        return corner
+
+    def preferred_supplier(self) -> Supplier | None:
+        """The supplier whose next read drops this node's corner bound
+        the most: the one attaining the corner maximum.  ``None`` when
+        every supplier is exhausted."""
+        best: Supplier | None = None
+        best_value = -math.inf
+        for idx, supplier in enumerate(self.suppliers):
+            s_i = supplier.bound()
+            if s_i == EXHAUSTED:
+                continue
+            value = s_i + self._tops_total - self._supplier_tops[idx]
+            if value > best_value:
+                best_value = value
+                best = supplier
+        return best
+
+    @property
+    def exhausted(self) -> bool:
+        return self.bound() == -math.inf and not self._buffer
+
+    # -- data flow -----------------------------------------------------------------
+
+    def on_arrival(self, supplier: Supplier, tup: STuple) -> None:
+        """Probe the other inputs with the arriving tuple; buffer results."""
+        try:
+            driving_idx = next(
+                i for i, s in enumerate(self.suppliers) if s is supplier
+            )
+        except StopIteration:
+            raise ExecutionError(
+                f"{self.name}: arrival from unknown supplier {supplier.name!r}"
+            ) from None
+        self._arrivals += 1
+        self.last_used_epoch = self._epoch_of()
+        targets = [
+            t for i, t in self._supplier_targets.items() if i != driving_idx
+        ] + self.probe_targets
+        order = self._probe_order(targets, frozenset(tup.aliases))
+        partials = [tup]
+        for target in order:
+            if not partials:
+                break
+            partials = self._extend(partials, target)
+        for result in partials:
+            heapq.heappush(
+                self._buffer,
+                (-result.intrinsic, next(self._counter), result),
+            )
+
+    def _probe_order(self, targets: list[ProbeTarget],
+                     start_aliases: frozenset[str]) -> list[ProbeTarget]:
+        """Connectivity-constrained greedy order by observed fanout.
+
+        Re-derived per arrival from monitored selectivities -- this is
+        the eddy-style runtime adaptivity: each driving input can end up
+        with a different probe sequence.
+        """
+        remaining = list(targets)
+        bound_aliases = set(start_aliases)
+        order: list[ProbeTarget] = []
+        while remaining:
+            connected = [
+                t for t in remaining
+                if any(
+                    (p.left_alias in bound_aliases
+                     and p.right_alias in t.aliases)
+                    or (p.right_alias in bound_aliases
+                        and p.left_alias in t.aliases)
+                    for p in self._preds_for(t)
+                )
+            ]
+            if not connected:
+                raise ExecutionError(
+                    f"{self.name}: probe order stuck; remaining targets "
+                    f"{[t.name for t in remaining]} are not connected to "
+                    f"bound aliases {sorted(bound_aliases)}"
+                )
+            if self.adaptive:
+                connected.sort(key=lambda t: (t.observed_fanout, t.name))
+            else:
+                connected.sort(key=lambda t: t.name)  # static order
+            chosen = connected[0]
+            order.append(chosen)
+            bound_aliases.update(chosen.aliases)
+            remaining.remove(chosen)
+        return order
+
+    def _extend(self, partials: list[STuple],
+                target: ProbeTarget) -> list[STuple]:
+        """Join every partial binding against one probe target."""
+        grown: list[STuple] = []
+        for partial in partials:
+            applicable = [
+                p for p in self._preds_for(target)
+                if (p.left_alias in partial.aliases
+                    and p.right_alias in target.aliases)
+                or (p.right_alias in partial.aliases
+                    and p.left_alias in target.aliases)
+            ]
+            if not applicable:
+                raise ExecutionError(
+                    f"{self.name}: no applicable predicate probing "
+                    f"{target.name!r}"
+                )
+            first = applicable[0]
+            if first.left_alias in target.aliases:
+                t_alias, t_attr = first.left_alias, first.left_attr
+                p_alias, p_attr = first.right_alias, first.right_attr
+            else:
+                t_alias, t_attr = first.right_alias, first.right_attr
+                p_alias, p_attr = first.left_alias, first.left_attr
+            value = partial.value(p_alias, p_attr)
+            self.clock.advance(self.delays.cpu_probe)
+            self.metrics.record_join_probe(self.delays.cpu_probe)
+            candidates = target.lookup(t_alias, t_attr, value)
+            target.probes += 1
+            for candidate in candidates:
+                ok = True
+                for pred in applicable[1:]:
+                    if pred.left_alias in target.aliases:
+                        c_alias, c_attr = pred.left_alias, pred.left_attr
+                        o_alias, o_attr = pred.right_alias, pred.right_attr
+                    else:
+                        c_alias, c_attr = pred.right_alias, pred.right_attr
+                        o_alias, o_attr = pred.left_alias, pred.left_attr
+                    if candidate.value(c_alias, c_attr) \
+                            != partial.value(o_alias, o_attr):
+                        ok = False
+                        break
+                if ok:
+                    target.matches += 1
+                    grown.append(partial.merge(candidate))
+        return grown
+
+    def seed_from_suppliers(self) -> int:
+        """Materialize every join result derivable from the suppliers'
+        *current* module contents straight into this node's module.
+
+        This is Algorithm 2's recovery join applied at node-creation
+        time: drive the replay of one supplier's linked list (we pick
+        the smallest) and treat the other suppliers' hash tables as
+        random-access inputs.  Results are inserted in nonincreasing
+        intrinsic order so that module replays remain sorted streams.
+        In-memory work only -- no network cost -- which is what makes
+        state reuse nearly free.
+
+        Returns the number of seeded results.  Newly created nodes with
+        empty suppliers seed nothing; nodes whose *every* streaming
+        supplier has history seed the full old-x-old cross-section.
+        """
+        moduled = [s for s in self.suppliers if s.module is not None]
+        if len(moduled) != len(self.suppliers):
+            return 0  # recovery-style nodes never seed
+        if any(s.module.size == 0 for s in moduled):
+            return 0  # every result needs one tuple from every stream
+        driving = min(moduled, key=lambda s: (s.module.size, s.name))
+        other_targets = [
+            target for idx, target in self._supplier_targets.items()
+            if self.suppliers[idx] is not driving
+        ]
+        results: list[STuple] = []
+        for tup in driving.module.replay():
+            partials = [tup]
+            for target in self._probe_order(
+                    other_targets + self.probe_targets,
+                    frozenset(tup.aliases)):
+                if not partials:
+                    break
+                partials = self._extend(partials, target)
+            results.extend(partials)
+        results.sort(key=lambda t: -t.intrinsic)
+        epoch = self._epoch_of()
+        for tup in results:
+            self.module.insert(tup, epoch)
+            self.clock.advance(self.delays.cpu_insert)
+            self.metrics.record_insert(self.delays.cpu_insert)
+            self.metrics.tuples_reused += 1
+        return len(results)
+
+    def clear_state(self) -> int:
+        """Drop module contents and the unreleased buffer (eviction /
+        detach support).  Returns tuples freed."""
+        freed = self.module.clear() + len(self._buffer)
+        self._buffer.clear()
+        return freed
+
+    def release_ready(self) -> int:
+        """Release buffered results whose score no future result can
+        beat; returns the number released."""
+        released = 0
+        epsilon = 1e-9
+        while self._buffer:
+            corner = self.corner_bound()
+            top_neg, _seq, tup = self._buffer[0]
+            if -top_neg + epsilon < corner:
+                break
+            heapq.heappop(self._buffer)
+            self.module.insert(tup, self._epoch_of())
+            self.clock.advance(self.delays.cpu_insert)
+            self.metrics.record_insert(self.delays.cpu_insert)
+            self._released += 1
+            released += 1
+            for consumer in list(self.consumers):
+                consumer.on_arrival(self, tup)
+        return released
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def released(self) -> int:
+        return self._released
+
+    def state_size(self) -> int:
+        return self.module.size + len(self._buffer)
+
+    def __repr__(self) -> str:
+        return (f"MJoinNode({self.name!r}, suppliers="
+                f"{[s.name for s in self.suppliers]}, "
+                f"buffered={len(self._buffer)}, released={self._released})")

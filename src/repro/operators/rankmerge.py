@@ -1,0 +1,268 @@
+"""The rank-merge operator (Section 4.1, Figure 6).
+
+One rank-merge per user query.  It merges the output streams of the
+user query's conjunctive queries into the top-k answer list, following
+the Threshold / No-Random-Access algorithm family of Fagin et al. [7]:
+
+* each CQ stream carries a *threshold* -- an upper bound on the score
+  of the next tuple that stream can deliver, derived from the stream's
+  intrinsic bound through the CQ's score function;
+* a priority queue holds the highest-scoring tuples seen so far;
+* the operator emits the top queued tuple once its score is at least
+  every stream's threshold (no unseen tuple can beat it), and
+* it asks the ATC to read next from the stream whose threshold is
+  highest (the read that drops the frontier the most).
+
+Beyond plain TA, the rank-merge drives the paper's *lazy CQ
+activation* (the QS manager "incrementally takes the highest-scoring
+conjunctive queries ... as execution progresses and the maximum score
+of the next result drops, further conjunctive queries can be
+activated") and its *pruning* rule ("once a conjunctive query ... can
+no longer contribute to top-k output -- its threshold is lower than the
+kth tuple in the ranking queue -- it gets unlinked and deactivated",
+Section 6.3).  Recovery queries (Algorithm 2) register here as extra
+streams for their CQ, "just another ranked input".
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+
+from repro.common.errors import ExecutionError
+from repro.data.rows import STuple
+from repro.keyword.queries import ConjunctiveQuery, RankedAnswer, UserQuery
+from repro.operators.nodes import Supplier
+
+_EPSILON = 1e-9
+
+
+@dataclass
+class CQStreamEntry:
+    """One registered input stream: a CQ's live plan or a recovery query."""
+
+    stream_id: str
+    cq: ConjunctiveQuery
+    supplier: Supplier
+    kind: str = "live"
+    active: bool = True
+    delivered: int = 0
+
+    def threshold(self) -> float:
+        """Upper bound on the score of this stream's next tuple."""
+        return self.cq.score.bound_from_intrinsic(self.supplier.bound())
+
+    @property
+    def exhausted(self) -> bool:
+        return self.supplier.bound() == -math.inf
+
+
+class _EntryAdapter:
+    """Consumer adapter wiring one supplier port into the rank-merge."""
+
+    def __init__(self, merge: "RankMerge", entry: CQStreamEntry) -> None:
+        self.merge = merge
+        self.entry = entry
+
+    def on_arrival(self, supplier: Supplier, tup: STuple) -> None:
+        self.merge.ingest(self.entry, tup)
+
+
+@dataclass
+class _Candidate:
+    score: float
+    answer: RankedAnswer
+    tup: STuple = field(repr=False)
+
+
+class RankMerge:
+    """Top-k merge over a user query's conjunctive-query streams."""
+
+    def __init__(self, uq: UserQuery) -> None:
+        self.uq = uq
+        self.k = uq.k
+        self.entries: dict[str, CQStreamEntry] = {}
+        #: CQs optimized but not yet instantiated in the plan graph,
+        #: highest upper bound first.
+        self.pending: list[ConjunctiveQuery] = list(uq.cqs)
+        self.emitted: list[_Candidate] = []
+        self._heap: list[tuple[float, int, _Candidate]] = []
+        self._counter = itertools.count()
+        self._seen: set[tuple[str, frozenset]] = set()
+        self.complete = False
+        self.activations = 0
+
+    # -- registration ---------------------------------------------------------
+
+    def register_stream(self, cq: ConjunctiveQuery, supplier: Supplier,
+                        kind: str = "live") -> CQStreamEntry:
+        """Attach a supplier as a stream for ``cq``; returns the entry.
+
+        The CQ is removed from the pending list on its first (live)
+        registration.  The returned entry's adapter is appended to the
+        supplier's consumers, so tuple flow starts immediately.
+        """
+        suffix = kind if kind != "live" else "live"
+        stream_id = f"{cq.cq_id}:{suffix}:{len(self.entries)}"
+        entry = CQStreamEntry(stream_id, cq, supplier, kind=kind)
+        self.entries[stream_id] = entry
+        supplier.consumers.append(_EntryAdapter(self, entry))
+        if kind == "live":
+            self.pending = [p for p in self.pending if p.cq_id != cq.cq_id]
+            self.activations += 1
+        return entry
+
+    def drop_pending(self, cq_id: str) -> None:
+        self.pending = [p for p in self.pending if p.cq_id != cq_id]
+
+    # -- data flow ---------------------------------------------------------------
+
+    def ingest(self, entry: CQStreamEntry, tup: STuple) -> None:
+        """Receive one result tuple from a CQ stream."""
+        if self.complete:
+            return
+        key = (entry.cq.cq_id, tup.provenance)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        entry.delivered += 1
+        score = entry.cq.score.score(tup)
+        candidate = _Candidate(
+            score=score,
+            answer=RankedAnswer(self.uq.uq_id, entry.cq.cq_id, score,
+                                tup.provenance),
+            tup=tup,
+        )
+        heapq.heappush(self._heap, (-score, next(self._counter), candidate))
+
+    # -- thresholds -----------------------------------------------------------------
+
+    def active_entries(self) -> list[CQStreamEntry]:
+        return [e for e in self.entries.values() if e.active]
+
+    def max_active_threshold(self) -> float:
+        thresholds = [e.threshold() for e in self.active_entries()]
+        return max(thresholds, default=-math.inf)
+
+    def max_pending_bound(self) -> float:
+        return max((cq.upper_bound for cq in self.pending), default=-math.inf)
+
+    def frontier(self) -> float:
+        """The emission gate: no unseen tuple can score above this."""
+        return max(self.max_active_threshold(), self.max_pending_bound())
+
+    def kth_ranked_score(self) -> float:
+        """Score of the k-th best tuple currently known (emitted or
+        queued); ``-inf`` if fewer than k are known.  This is the
+        pruning frontier of Section 6.3."""
+        needed = self.k - len(self.emitted)
+        if needed <= 0:
+            return self.emitted[-1].score if self.emitted else -math.inf
+        if len(self._heap) < needed:
+            return -math.inf
+        top_scores = heapq.nsmallest(needed, self._heap)
+        return -top_scores[-1][0]
+
+    # -- control decisions -------------------------------------------------------------
+
+    def should_activate(self) -> bool:
+        """Whether the emission frontier is currently held up by a CQ
+        that has not started executing (so the QS manager must graft
+        it)."""
+        if self.complete or not self.pending:
+            return False
+        pending_bound = self.max_pending_bound()
+        kth = self.kth_ranked_score()
+        if pending_bound <= kth + _EPSILON:
+            # No pending CQ can beat what we already hold: they will be
+            # pruned, not activated.
+            return False
+        active_bound = self.max_active_threshold()
+        top = self.peek_score()
+        if top is not None and top + _EPSILON >= self.frontier():
+            return False  # we can emit without activating anything
+        return pending_bound > active_bound - _EPSILON
+
+    def next_pending(self) -> ConjunctiveQuery:
+        if not self.pending:
+            raise ExecutionError(f"{self.uq.uq_id}: no pending CQs left")
+        return self.pending[0]
+
+    def peek_score(self) -> float | None:
+        if not self._heap:
+            return None
+        return -self._heap[0][0]
+
+    def preferred_entry(self) -> CQStreamEntry | None:
+        """The active, non-exhausted stream with the highest threshold:
+        the read the paper says "will drop the score threshold the
+        most"."""
+        best: CQStreamEntry | None = None
+        best_threshold = -math.inf
+        for entry in self.active_entries():
+            if entry.exhausted:
+                continue
+            threshold = entry.threshold()
+            if threshold > best_threshold:
+                best_threshold = threshold
+                best = entry
+        return best
+
+    # -- emission ---------------------------------------------------------------------
+
+    def try_emit(self) -> list[RankedAnswer]:
+        """Emit every queued tuple whose score clears the frontier."""
+        out: list[RankedAnswer] = []
+        while not self.complete and self._heap:
+            top_score = -self._heap[0][0]
+            if top_score + _EPSILON < self.frontier():
+                break
+            _neg, _seq, candidate = heapq.heappop(self._heap)
+            self.emitted.append(candidate)
+            out.append(candidate.answer)
+            if len(self.emitted) >= self.k:
+                self.complete = True
+        self._prune_useless()
+        return out
+
+    def _prune_useless(self) -> None:
+        """Deactivate streams and drop pending CQs that can no longer
+        contribute to the top-k."""
+        kth = self.kth_ranked_score()
+        if kth == -math.inf:
+            return
+        for entry in self.active_entries():
+            if entry.threshold() + _EPSILON < kth:
+                entry.active = False
+        self.pending = [
+            cq for cq in self.pending if cq.upper_bound + _EPSILON >= kth
+        ]
+
+    def finalize(self) -> list[RankedAnswer]:
+        """Flush when every stream is exhausted and nothing is pending:
+        the remaining queue *is* the rest of the answer."""
+        out: list[RankedAnswer] = []
+        while self._heap and len(self.emitted) < self.k:
+            _neg, _seq, candidate = heapq.heappop(self._heap)
+            self.emitted.append(candidate)
+            out.append(candidate.answer)
+        self.complete = True
+        return out
+
+    def all_streams_done(self) -> bool:
+        return all(e.exhausted or not e.active
+                   for e in self.entries.values())
+
+    @property
+    def answers(self) -> list[RankedAnswer]:
+        return [c.answer for c in self.emitted]
+
+    def answer_tuples(self) -> list[tuple[RankedAnswer, STuple]]:
+        return [(c.answer, c.tup) for c in self.emitted]
+
+    def __repr__(self) -> str:
+        return (f"RankMerge({self.uq.uq_id}, emitted={len(self.emitted)}/"
+                f"{self.k}, streams={len(self.entries)}, "
+                f"pending={len(self.pending)}, complete={self.complete})")

@@ -1,0 +1,44 @@
+"""Multi-query optimization: candidates, BestPlan, factorization,
+clustering, cost model."""
+
+from repro.optimizer.bestplan import BestPlanResult, BestPlanSearch
+from repro.optimizer.candidates import (
+    CandidateSet,
+    InputCandidate,
+    base_input_expr,
+    enumerate_candidates,
+    probe_aliases,
+    streamable_aliases,
+)
+from repro.optimizer.clustering import (
+    IncrementalClusterer,
+    cluster_user_queries,
+    jaccard,
+)
+from repro.optimizer.cost import CostModel, ReuseOracle
+from repro.optimizer.factorize import (
+    ComponentSpec,
+    FactorizedPlan,
+    SourceSpec,
+    factorize,
+)
+
+__all__ = [
+    "BestPlanResult",
+    "BestPlanSearch",
+    "CandidateSet",
+    "ComponentSpec",
+    "CostModel",
+    "FactorizedPlan",
+    "IncrementalClusterer",
+    "InputCandidate",
+    "ReuseOracle",
+    "SourceSpec",
+    "base_input_expr",
+    "cluster_user_queries",
+    "enumerate_candidates",
+    "factorize",
+    "jaccard",
+    "probe_aliases",
+    "streamable_aliases",
+]

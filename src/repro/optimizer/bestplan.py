@@ -1,0 +1,324 @@
+"""Algorithm 1: cost-based search over candidate input assignments.
+
+``BestPlan`` (Section 5.1.2) performs memoized top-down search in the
+Volcano style: it repeatedly commits one candidate subexpression ``J``
+to the partial assignment ``A`` and recurses on an adjusted candidate
+set ``S'`` in which every candidate ``J'`` that *overlaps* ``J`` (shares
+a relation) loses the consumers ``J`` just claimed -- so no query ever
+streams the same base relation through two inputs.  When ``S`` is
+exhausted, the partial assignment is completed into a full valid plan
+(uncovered streamable atoms fall back to base-relation inputs,
+score-less atoms to random-access probes) and costed.
+
+Two notes on fidelity:
+
+* The paper's line 14 reads as if non-overlapping candidates were
+  dropped from ``S'``; that cannot be intended (it would discard
+  independent candidates), so we implement the evident semantics:
+  non-overlapping candidates survive unchanged, overlapping ones have
+  their consumer sets reduced and are dropped only when empty.
+* The paper memoizes on ``A`` alone ("if there exists a cached plan P'
+  for inputs A, return it").  We memoize on ``A`` with its consumer
+  sets (exact), but bound the state space structurally: ordering only
+  matters among candidates that *overlap* each other, so the searched
+  candidates are decomposed into connected components of the overlap
+  graph and each component is searched independently -- the exact
+  search inside each component, a product across components.  Components
+  are capped at ``max_search`` members (overflow candidates are applied
+  greedily at completion), which keeps the worst case at
+  ``O(k * 2^max_search)`` while preserving the exponential-in-candidates
+  growth the paper observes (Figure 11).
+
+The search is exponential in the number of candidates -- that is
+Figure 11's observed behaviour -- so callers cap the searched set
+(``max_search``); overflow candidates are applied greedily at
+completion time instead of being branched on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.common.config import ExecutionConfig
+from repro.keyword.queries import ConjunctiveQuery
+from repro.optimizer.candidates import CandidateSet, InputCandidate
+from repro.optimizer.cost import CostModel, ReuseOracle
+from repro.plan.expressions import SPJ
+
+#: One (expression, consumer-set) pair inside the search.
+_Entry = tuple[SPJ, frozenset[str]]
+
+
+@dataclass
+class BestPlanResult:
+    """A complete valid input assignment ``(I, I-map)`` with its cost."""
+
+    streams: dict[SPJ, frozenset[str]]
+    probes: dict[str, tuple[str, ...]]
+    cost: float
+    plans_explored: int = 0
+    searched_candidates: int = 0
+    wall_time: float = 0.0
+
+    def inputs_for(self, cq_id: str) -> list[SPJ]:
+        """The streaming inputs serving one CQ, largest first."""
+        out = [expr for expr, consumers in self.streams.items()
+               if cq_id in consumers]
+        out.sort(key=lambda e: (-e.size, e.describe()))
+        return out
+
+    def validate(self, cqs: list[ConjunctiveQuery],
+                 streamable: dict[str, set[str]]) -> None:
+        """Definition 1 validity: per CQ, every streamable alias is
+        covered by exactly one input; probes cover the rest."""
+        for cq in cqs:
+            covered: list[str] = []
+            for expr, consumers in self.streams.items():
+                if cq.cq_id not in consumers:
+                    continue
+                if cq.expr.induced(expr.aliases) != expr:
+                    raise AssertionError(
+                        f"{cq.cq_id}: input {expr.describe()} is not a "
+                        f"subexpression of the query"
+                    )
+                covered.extend(expr.aliases)
+            if len(covered) != len(set(covered)):
+                raise AssertionError(
+                    f"{cq.cq_id}: overlapping inputs cover {sorted(covered)}"
+                )
+            expected = streamable[cq.cq_id]
+            probed = set(self.probes.get(cq.cq_id, ()))
+            all_covered = set(covered) | probed
+            if all_covered != set(cq.expr.aliases):
+                raise AssertionError(
+                    f"{cq.cq_id}: inputs+probes cover {sorted(all_covered)} "
+                    f"!= atoms {sorted(cq.expr.aliases)}"
+                )
+            uncovered_streamable = expected - set(covered)
+            if uncovered_streamable - probed:
+                raise AssertionError(
+                    f"{cq.cq_id}: streamable aliases "
+                    f"{sorted(uncovered_streamable - probed)} unassigned"
+                )
+
+
+@dataclass
+class BestPlanSearch:
+    """One invocation of Algorithm 1 over a batch of CQs."""
+
+    cqs: list[ConjunctiveQuery]
+    candidates: CandidateSet
+    cost_model: CostModel
+    config: ExecutionConfig
+    streamable: dict[str, set[str]]
+    probes: dict[str, tuple[str, ...]]
+    oracle: ReuseOracle | None = None
+    max_search: int = 8
+    max_candidates: int = 24
+    _memo: dict[frozenset[_Entry], tuple[float, tuple[_Entry, ...]]] = \
+        field(default_factory=dict)
+    _explored: int = 0
+
+    def run(self) -> BestPlanResult:
+        started = time.perf_counter()
+        self._cq_by_id = {cq.cq_id: cq for cq in self.cqs}
+        cq_ids = frozenset(cq.cq_id for cq in self.cqs)
+        usable = [
+            c for c in self.candidates.pushdowns if c.consumers & cq_ids
+        ]
+        usable.sort(
+            key=lambda c: (-len(c.consumers), c.est_cardinality,
+                           c.expr.describe())
+        )
+        usable, spill = (usable[: self.max_candidates],
+                         usable[self.max_candidates:])
+        searched_components, auto = self._partition(usable)
+        self._auto = auto + spill
+        total_cost = 0.0
+        chosen: tuple[_Entry, ...] = ()
+        searched_count = 0
+        for component in searched_components:
+            searched_count += len(component)
+            initial = tuple(
+                (c.expr, c.consumers & cq_ids) for c in component
+            )
+            self._memo.clear()
+            component_cost, component_chosen = self._search(initial, ())
+            total_cost += component_cost
+            chosen = chosen + component_chosen
+        if not searched_components:
+            self._explored += 1
+        streams, probes = self._complete(chosen)
+        cost = self.cost_model.plan_cost(
+            streams, self._cq_by_id, probes, self.oracle,
+        )
+        result = BestPlanResult(
+            streams=streams,
+            probes=probes,
+            cost=cost,
+            plans_explored=self._explored,
+            searched_candidates=searched_count,
+            wall_time=time.perf_counter() - started,
+        )
+        result.validate(self.cqs, self.streamable)
+        return result
+
+    # -- candidate partitioning -------------------------------------------------
+
+    def _partition(self, usable: list[InputCandidate]
+                   ) -> tuple[list[list[InputCandidate]],
+                              list[InputCandidate]]:
+        """Split candidates into overlap components worth branching on.
+
+        Ordering only matters among candidates that overlap each other
+        with shared consumers (the subtraction of Algorithm 1 line 14);
+        independent candidates are always used.  Each component is
+        capped at ``max_search`` members by utility -- the rest are
+        applied greedily at completion time."""
+        conflicted: list[InputCandidate] = []
+        independent: list[InputCandidate] = []
+        for candidate in usable:
+            if any(candidate is not other and candidate.overlaps(other)
+                   and (candidate.consumers & other.consumers)
+                   for other in usable):
+                conflicted.append(candidate)
+            else:
+                independent.append(candidate)
+        # Connected components of the conflict graph.
+        unassigned = list(conflicted)
+        components: list[list[InputCandidate]] = []
+        while unassigned:
+            seed = unassigned.pop(0)
+            component = [seed]
+            changed = True
+            while changed:
+                changed = False
+                for other in list(unassigned):
+                    if any(other.overlaps(member)
+                           and (other.consumers & member.consumers)
+                           for member in component):
+                        component.append(other)
+                        unassigned.remove(other)
+                        changed = True
+            component.sort(
+                key=lambda c: (-len(c.consumers), c.est_cardinality,
+                               c.expr.describe())
+            )
+            components.append(component)
+        overflow: list[InputCandidate] = []
+        capped: list[list[InputCandidate]] = []
+        for component in components:
+            capped.append(component[: self.max_search])
+            overflow.extend(component[self.max_search:])
+        return capped, independent + overflow
+
+    # -- Algorithm 1 ---------------------------------------------------------------
+
+    def _search(self, s_list: tuple[_Entry, ...],
+                chosen: tuple[_Entry, ...]
+                ) -> tuple[float, tuple[_Entry, ...]]:
+        key = frozenset(chosen)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        if not s_list:
+            streams, probes = self._complete(chosen)
+            cost = self.cost_model.plan_cost(
+                streams, self._cq_by_id, probes, self.oracle,
+            )
+            self._explored += 1
+            result = (cost, chosen)
+            self._memo[key] = result
+            return result
+        best_cost = float("inf")
+        best_chosen: tuple[_Entry, ...] = chosen
+        for idx, (expr_j, consumers_j) in enumerate(s_list):
+            adjusted: list[_Entry] = []
+            aliases_j = set(expr_j.aliases)
+            for jdx, (expr_o, consumers_o) in enumerate(s_list):
+                if jdx == idx:
+                    continue
+                if aliases_j & set(expr_o.aliases):
+                    remaining = consumers_o - consumers_j
+                    if remaining:
+                        adjusted.append((expr_o, remaining))
+                else:
+                    adjusted.append((expr_o, consumers_o))
+            cost, plan = self._search(
+                tuple(adjusted), chosen + ((expr_j, consumers_j),)
+            )
+            if cost < best_cost:
+                best_cost = cost
+                best_chosen = plan
+        self._memo[key] = (best_cost, best_chosen)
+        return best_cost, best_chosen
+
+    # -- plan completion ---------------------------------------------------------------
+
+    def _complete(self, chosen: tuple[_Entry, ...]
+                  ) -> tuple[dict[SPJ, frozenset[str]],
+                             dict[str, tuple[str, ...]]]:
+        """Turn a committed candidate set into a full valid assignment."""
+        coverage: dict[str, set[str]] = {cq.cq_id: set() for cq in self.cqs}
+        streams: dict[SPJ, set[str]] = {}
+        for expr, consumers in chosen:
+            for cq_id in consumers:
+                if coverage[cq_id] & set(expr.aliases):
+                    # A completion-time conflict can only arise from
+                    # imprecise memo reuse; resolve by skipping.
+                    continue
+                coverage[cq_id].update(expr.aliases)
+                streams.setdefault(expr, set()).add(cq_id)
+        for candidate in self._auto:
+            eligible = {
+                cq_id for cq_id in candidate.consumers
+                if cq_id in coverage
+                and not (coverage[cq_id] & candidate.aliases)
+            }
+            if eligible:
+                for cq_id in eligible:
+                    coverage[cq_id].update(candidate.aliases)
+                streams.setdefault(candidate.expr, set()).update(eligible)
+        limit = self.cost_model.stream_preference_limit()
+        for cq in self.cqs:
+            streamed_bases: list[str] = []
+            deferred: list[tuple[float, str]] = []
+            for alias in cq.expr.aliases:
+                if alias in coverage[cq.cq_id]:
+                    continue
+                if alias not in self.streamable[cq.cq_id]:
+                    continue  # score-less and large: probe, period.
+                base = cq.expr.induced({alias})
+                selective = bool(cq.expr.selections_on(alias))
+                card = self.cost_model.est_cardinality(base)
+                if selective or card <= limit:
+                    streams.setdefault(base, set()).add(cq.cq_id)
+                    coverage[cq.cq_id].add(alias)
+                    streamed_bases.append(alias)
+                else:
+                    # Scored but unselected and large: a flat stream
+                    # descends the threshold too slowly -- access it by
+                    # key probes (Figure 4's TP_R / UP_R pattern).
+                    deferred.append((card, alias))
+            has_stream = streamed_bases or any(
+                cq.cq_id in consumers for consumers in streams.values()
+            )
+            if not has_stream:
+                # Every m-join needs at least one driving stream.
+                deferred.sort()
+                _card, anchor = deferred.pop(0)
+                base = cq.expr.induced({anchor})
+                streams.setdefault(base, set()).add(cq.cq_id)
+                coverage[cq.cq_id].add(anchor)
+        probes = {
+            cq.cq_id: tuple(
+                a for a in cq.expr.aliases
+                if a not in coverage[cq.cq_id]
+            )
+            for cq in self.cqs
+        }
+        return (
+            {expr: frozenset(consumers) for expr, consumers in streams.items()},
+            probes,
+        )

@@ -1,0 +1,234 @@
+"""Push-down candidate enumeration with the Section 5.1.1 heuristics.
+
+The optimizer's first stage factors out of the batch a *candidate input
+assignment* ``(S, S-map)``: subexpressions that could be evaluated at
+the remote sites and streamed in, each with the set of conjunctive
+queries that could consume it.  Exhaustive enumeration is intractable,
+so the paper prunes:
+
+1. **Consider queries as shared subexpressions** -- a query with few
+   estimated results does not contribute its subexpressions as
+   candidates, unless a different (larger) set of queries shares them.
+2. **Only stream relations that have scoring attributes** -- a
+   score-less relation read as a stream never tightens the threshold,
+   so it becomes a probed source instead, unless its cardinality is
+   under ``tau(R)``.
+3. **Filter subexpressions by estimated utility** -- keep those shared
+   by a minimum number of CQs or with low cardinality; prune those that
+   are expensive at the source (joins that do not follow schema edges);
+   always keep base streaming relations.
+4. **Do not consider overlapping pushed-down subexpressions** -- no
+   query may stream the same base relation through two inputs; this is
+   enforced structurally by :mod:`repro.optimizer.bestplan`'s
+   consumer-set subtraction, matching the paper's Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.config import ExecutionConfig
+from repro.data.database import Federation
+from repro.keyword.queries import ConjunctiveQuery
+from repro.optimizer.cost import CostModel
+from repro.plan.andor import AndOrGraph
+from repro.plan.expressions import SPJ
+
+
+@dataclass(frozen=True)
+class InputCandidate:
+    """One entry of the candidate assignment ``(S, S-map)``."""
+
+    expr: SPJ
+    consumers: frozenset[str]
+    is_base: bool
+    est_cardinality: float
+
+    @property
+    def aliases(self) -> frozenset[str]:
+        return frozenset(self.expr.aliases)
+
+    def overlaps(self, other: "InputCandidate") -> bool:
+        return bool(self.aliases & other.aliases)
+
+    def __repr__(self) -> str:
+        return (f"Candidate({self.expr.describe()}, "
+                f"consumers={sorted(self.consumers)}, base={self.is_base})")
+
+
+@dataclass
+class CandidateSet:
+    """The optimizer's working set for one batch."""
+
+    pushdowns: list[InputCandidate] = field(default_factory=list)
+    bases: list[InputCandidate] = field(default_factory=list)
+    andor: AndOrGraph | None = None
+
+    @property
+    def all(self) -> list[InputCandidate]:
+        return self.pushdowns + self.bases
+
+    @property
+    def candidate_count(self) -> int:
+        return len(self.pushdowns)
+
+
+def streamable_aliases(cq: ConjunctiveQuery, federation: Federation,
+                       config: ExecutionConfig) -> set[str]:
+    """Aliases of ``cq`` that may appear in a streaming input.
+
+    Heuristic 2: relations without score attributes are probed, not
+    streamed -- unless small enough that exhausting them is cheaper
+    than probing (``tau(R)``, configured offline per the paper).
+    """
+    out: set[str] = set()
+    for atom in cq.expr.atoms:
+        relation = federation.schema.relation(atom.relation)
+        if relation.has_score:
+            out.add(atom.alias)
+        elif federation.cardinality(atom.relation) < config.tau_probe_threshold:
+            out.add(atom.alias)
+    return out
+
+
+def probe_aliases(cq: ConjunctiveQuery, federation: Federation,
+                  config: ExecutionConfig) -> tuple[str, ...]:
+    """The complement of :func:`streamable_aliases`, in atom order."""
+    streamable = streamable_aliases(cq, federation, config)
+    return tuple(a for a in cq.expr.aliases if a not in streamable)
+
+
+def base_input_expr(cq: ConjunctiveQuery, alias: str) -> SPJ:
+    """The single-atom input for one alias, with its selections."""
+    return cq.expr.induced({alias})
+
+
+def _pushable(expr: SPJ, federation: Federation) -> bool:
+    """Whether the sites can evaluate ``expr``: co-located, connected,
+    and every join following a schema edge (heuristic 3's "expensive to
+    compute at the source" filter)."""
+    if federation.site_of_expression(expr) is None:
+        return False
+    if not expr.is_connected():
+        return False
+    schema = federation.schema
+    alias_to_rel = expr.alias_to_relation
+    for pred in expr.joins:
+        left_rel = alias_to_rel[pred.left_alias]
+        right_rel = alias_to_rel[pred.right_alias]
+        found = False
+        for edge in schema.edges_between(left_rel, right_rel):
+            attrs = {
+                (edge.left_relation, edge.left_attr),
+                (edge.right_relation, edge.right_attr),
+            }
+            if attrs == {(left_rel, pred.left_attr),
+                         (right_rel, pred.right_attr)}:
+                found = True
+                break
+        if not found:
+            return False
+    return True
+
+
+def _has_score(expr: SPJ, federation: Federation) -> bool:
+    return any(
+        federation.schema.relation(atom.relation).has_score
+        for atom in expr.atoms
+    )
+
+
+def enumerate_candidates(cqs: list[ConjunctiveQuery],
+                         federation: Federation,
+                         cost_model: CostModel,
+                         config: ExecutionConfig,
+                         sharing: bool = True,
+                         max_pushdown_size: int = 3) -> CandidateSet:
+    """Build the candidate assignment ``(S, S-map)`` for one batch.
+
+    With ``sharing`` disabled (the ATC-CQ baseline) only base-relation
+    inputs are produced, one per CQ atom, and the optimizer degenerates
+    to per-CQ planning.
+    """
+    out = CandidateSet()
+    cq_by_id = {cq.cq_id: cq for cq in cqs}
+
+    # Base inputs: group CQs whose single-atom induced expressions are
+    # identical (same relation + same selections).  Always useful.
+    base_groups: dict[SPJ, set[str]] = {}
+    for cq in cqs:
+        for alias in streamable_aliases(cq, federation, config):
+            expr = base_input_expr(cq, alias)
+            base_groups.setdefault(expr, set()).add(cq.cq_id)
+    for expr, consumers in sorted(base_groups.items(),
+                                  key=lambda kv: kv[0].describe()):
+        out.bases.append(InputCandidate(
+            expr, frozenset(consumers), is_base=True,
+            est_cardinality=cost_model.est_cardinality(expr),
+        ))
+    if not sharing:
+        return out
+
+    andor = AndOrGraph(max_fragment_size=max_pushdown_size)
+    andor.add_queries(cqs)
+    out.andor = andor
+
+    small_result_cqs = {
+        cq.cq_id for cq in cqs
+        if cost_model.est_cardinality(cq.expr) < config.k
+    }
+
+    for node in andor.nodes:
+        expr = node.expr
+        if expr.size < 2:
+            continue
+        if not _pushable(expr, federation):
+            continue
+        if not _has_score(expr, federation):
+            continue
+        consumers = frozenset(node.queries)
+        # Heuristic 1: small-result queries do not contribute their
+        # subexpressions unless a larger shared set exists.
+        effective = consumers - small_result_cqs
+        if not effective:
+            continue
+        # Streamable coverage: every alias of the fragment must be a
+        # streamable-or-inside alias for every consumer; fragments are
+        # induced from the consumers so this holds by construction, but
+        # a consumer whose probe atoms intersect the fragment only via
+        # score-less relations still benefits (they ride inside the
+        # pushed-down join).
+        card = cost_model.est_cardinality(expr)
+        shared_enough = len(effective) >= config.min_sharing_queries
+        selective_enough = card <= config.low_cardinality_bonus
+        if not (shared_enough or selective_enough):
+            continue
+        # "Avoid forcing the optimizer to create a bad plan that
+        # requires streaming in too many tuples": an unselected
+        # pushdown has a flat score profile, so its stream must be read
+        # very deep before thresholds drop; only selective or small
+        # join subexpressions are worth materializing at the source.
+        if not expr.selections and \
+                card > cost_model.stream_preference_limit():
+            continue
+        kept_consumers = frozenset(
+            c for c in consumers
+            if c in effective or len(effective) >= config.min_sharing_queries
+        )
+        out.pushdowns.append(InputCandidate(
+            expr, kept_consumers, is_base=False, est_cardinality=card,
+        ))
+
+    # Deterministic order: most shared first, then most selective.
+    out.pushdowns.sort(
+        key=lambda c: (-len(c.consumers), c.est_cardinality,
+                       c.expr.describe())
+    )
+    # Sanity: every consumer id refers to a CQ of this batch.
+    for candidate in out.pushdowns:
+        unknown = candidate.consumers - set(cq_by_id)
+        if unknown:
+            raise AssertionError(
+                f"candidate {candidate} references unknown CQs {unknown}"
+            )
+    return out

@@ -1,0 +1,149 @@
+"""User-query clustering (Section 6.1, "Preventing over-sharing").
+
+A single shared plan graph can thrash: a user query that depends on a
+small corner of a huge graph waits while the ATC round-robins over
+everyone else's reads.  The paper's remedy is to cluster user queries
+and give each cluster its own plan graph and ATC:
+
+1. find the most frequently occurring source relations in the workload;
+2. seed a cluster per such source with the user queries referencing it
+   more than ``Tm`` times (counting CQ-level references);
+3. repeatedly merge clusters whose Jaccard similarity exceeds ``Tc``;
+4. each resulting cluster is optimized and executed separately.
+
+:func:`cluster_user_queries` is the paper's batch algorithm;
+:class:`IncrementalClusterer` is the streaming variant the engine uses
+when queries arrive over time (a new user query joins the existing
+graph whose relation footprint it overlaps most, or starts a new one).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.keyword.queries import UserQuery
+
+
+def jaccard(a: set, b: set) -> float:
+    """Jaccard similarity; empty sets are defined as similarity 0."""
+    if not a or not b:
+        return 0.0
+    return len(a & b) / len(a | b)
+
+
+def core_relations(uq: UserQuery, min_refs: int = 1) -> set[str]:
+    """The user query's *core* source footprint: relations referenced
+    by more than ``min_refs`` of its conjunctive queries.
+
+    This is the paper's Tm gate: every candidate network touches a few
+    incidental link tables, so raw footprints of a shared schema all
+    look alike; counting only repeatedly-referenced sources leaves the
+    query's true subject matter.  Falls back to the full footprint when
+    the gate empties it (tiny user queries)."""
+    counts = Counter()
+    for cq in uq.cqs:
+        for relation in set(cq.relations):
+            counts[relation] += 1
+    core = {relation for relation, n in counts.items() if n > min_refs}
+    return core if core else set(uq.relation_set)
+
+
+def cluster_user_queries(uqs: list[UserQuery], min_refs: int = 1,
+                         merge_threshold: float = 0.5
+                         ) -> list[list[UserQuery]]:
+    """The paper's hierarchical clustering over one set of user queries.
+
+    ``min_refs`` is Tm (a UQ joins a source's seed cluster when more
+    than Tm of its CQs reference the source); ``merge_threshold`` is Tc
+    (clusters merge while the Jaccard similarity of their member sets
+    exceeds it).  User queries left out of every seed cluster become
+    singletons.
+    """
+    by_id = {uq.uq_id: uq for uq in uqs}
+    ref_counts: dict[str, Counter] = {uq.uq_id: Counter() for uq in uqs}
+    source_popularity: Counter = Counter()
+    for uq in uqs:
+        for cq in uq.cqs:
+            for relation in set(cq.relations):
+                ref_counts[uq.uq_id][relation] += 1
+                source_popularity[relation] += 1
+
+    clusters: list[set[str]] = []
+    for relation, _count in source_popularity.most_common():
+        members = {
+            uq.uq_id for uq in uqs
+            if ref_counts[uq.uq_id][relation] > min_refs
+        }
+        if members:
+            clusters.append(members)
+
+    merged = True
+    while merged:
+        merged = False
+        for i in range(len(clusters)):
+            for j in range(i + 1, len(clusters)):
+                if jaccard(clusters[i], clusters[j]) > merge_threshold:
+                    clusters[i] = clusters[i] | clusters[j]
+                    del clusters[j]
+                    merged = True
+                    break
+            if merged:
+                break
+
+    # Deduplicate membership (a UQ may sit in several seed clusters that
+    # never merged): keep it in the largest cluster containing it.
+    assigned: dict[str, int] = {}
+    clusters.sort(key=len, reverse=True)
+    for idx, members in enumerate(clusters):
+        for uq_id in members:
+            assigned.setdefault(uq_id, idx)
+    final: dict[int, list[UserQuery]] = {}
+    for uq in uqs:
+        idx = assigned.get(uq.uq_id)
+        if idx is None:
+            final[len(clusters) + len(final)] = [uq]
+        else:
+            final.setdefault(idx, []).append(uq)
+    return [members for _idx, members in sorted(final.items())]
+
+
+@dataclass
+class IncrementalClusterer:
+    """Streaming cluster assignment for the ATC-CL configuration.
+
+    Each existing plan graph accumulates the union of its member user
+    queries' relation footprints.  A new user query joins the graph
+    with the highest Jaccard overlap above ``Tc``; otherwise it founds
+    a new graph.  This is the natural online counterpart of the batch
+    algorithm above (which the paper runs once over the initial set).
+    """
+
+    merge_threshold: float = 0.5
+    min_refs: int = 1
+    footprints: dict[str, set[str]] = field(default_factory=dict)
+    members: dict[str, list[str]] = field(default_factory=dict)
+    _next_id: int = 0
+
+    def assign(self, uq: UserQuery) -> str:
+        """Return the graph id this user query should execute on."""
+        relations = core_relations(uq, self.min_refs)
+        best_id: str | None = None
+        best_similarity = 0.0
+        for graph_id, footprint in self.footprints.items():
+            similarity = jaccard(relations, footprint)
+            if similarity > best_similarity:
+                best_similarity = similarity
+                best_id = graph_id
+        if best_id is not None and best_similarity >= self.merge_threshold:
+            self.footprints[best_id] |= relations
+            self.members[best_id].append(uq.uq_id)
+            return best_id
+        graph_id = f"cluster{self._next_id}"
+        self._next_id += 1
+        self.footprints[graph_id] = set(relations)
+        self.members[graph_id] = [uq.uq_id]
+        return graph_id
+
+    def cluster_count(self) -> int:
+        return len(self.footprints)

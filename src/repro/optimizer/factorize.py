@@ -1,0 +1,260 @@
+"""Factorization of the query plan graph (Section 5.2).
+
+Given the input assignment ``(I, I-map)`` chosen by ``BestPlan``, this
+stage decides the *component structure* of the middleware plan: which
+select-project-join fragments are computed by which m-join, and where
+split operators feed one fragment's output into several consumers.
+
+The paper's greedy frontier algorithm is implemented as region merging:
+every conjunctive query starts with one region per assigned input plus
+its pending probe atoms, and we repeatedly apply the join/absorb
+operation *common to the maximal number of queries* (ties broken toward
+the most selective), either growing an existing component in place --
+when its full consumer set participates, keeping components as large
+and as few as possible so the m-join's runtime adaptivity orders the
+joins -- or creating a new component below a split when consumer sets
+diverge.  The loop ends when every query is computed by a single
+component (or directly by a source), which becomes the stream its
+rank-merge consumes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.common.errors import OptimizationError
+from repro.keyword.queries import ConjunctiveQuery
+from repro.optimizer.bestplan import BestPlanResult
+from repro.optimizer.cost import CostModel
+from repro.plan.expressions import SPJ
+
+
+def _digest(payload: object) -> str:
+    return hashlib.blake2s(repr(payload).encode(), digest_size=8).hexdigest()
+
+
+@dataclass(frozen=True)
+class SourceSpec:
+    """One streaming input of the assignment, to become an InputUnit."""
+
+    source_id: str
+    expr: SPJ
+
+
+@dataclass
+class ComponentSpec:
+    """One m-join component of the factorized plan.
+
+    ``stream_children`` reference source or component ids;
+    ``probe_atoms`` are resolved by random-access sources.  ``cqs`` is
+    the set of conjunctive queries whose plans flow through this
+    component.
+    """
+
+    comp_id: str
+    expr: SPJ
+    stream_children: tuple[str, ...]
+    probe_atoms: tuple[str, ...]
+    cqs: set[str] = field(default_factory=set)
+
+
+@dataclass
+class FactorizedPlan:
+    """The full factorization of one optimized batch."""
+
+    scope: str
+    sources: dict[str, SourceSpec] = field(default_factory=dict)
+    components: dict[str, ComponentSpec] = field(default_factory=dict)
+    cq_final: dict[str, str] = field(default_factory=dict)
+    cq_stream_sources: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    cq_probe_atoms: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    def node_ids(self) -> set[str]:
+        return set(self.sources) | set(self.components)
+
+    def split_degree(self) -> dict[str, int]:
+        """Fan-out per node id (>= 2 implies a split operator)."""
+        fanout: dict[str, int] = {}
+        for comp in self.components.values():
+            for child in comp.stream_children:
+                fanout[child] = fanout.get(child, 0) + 1
+        for final in self.cq_final.values():
+            fanout[final] = fanout.get(final, 0) + 1
+        return fanout
+
+
+def factorize(result: BestPlanResult, cqs: list[ConjunctiveQuery],
+              cost_model: CostModel, scope: str,
+              sharing: bool = True) -> FactorizedPlan:
+    """Build the component DAG for one optimized batch.
+
+    With ``sharing`` disabled, op support is evaluated per query, so
+    every conjunctive query gets a private component chain -- the
+    ATC-CQ baseline.
+    """
+    plan = FactorizedPlan(scope=scope)
+    cq_by_id = {cq.cq_id: cq for cq in cqs}
+
+    # Region state: per CQ, node_id -> covered aliases; plus pending
+    # probe atoms.
+    regions: dict[str, dict[str, frozenset[str]]] = {}
+    pending_probes: dict[str, set[str]] = {}
+    for cq in cqs:
+        regions[cq.cq_id] = {}
+        pending_probes[cq.cq_id] = set(result.probes.get(cq.cq_id, ()))
+        plan.cq_probe_atoms[cq.cq_id] = tuple(
+            sorted(result.probes.get(cq.cq_id, ())))
+
+    for expr, consumers in result.streams.items():
+        shared_scope = scope if sharing else None
+        for cq_id in consumers:
+            if cq_id not in cq_by_id:
+                continue
+            sid_scope = shared_scope if shared_scope is not None else cq_id
+            source_id = f"src:{sid_scope}:{_digest(expr.canonical_key)}"
+            if source_id not in plan.sources:
+                plan.sources[source_id] = SourceSpec(source_id, expr)
+            regions[cq_id][source_id] = frozenset(expr.aliases)
+    for cq in cqs:
+        plan.cq_stream_sources[cq.cq_id] = tuple(sorted(
+            node_id for node_id in regions[cq.cq_id]
+        ))
+
+    def work_left(cq_id: str) -> bool:
+        return len(regions[cq_id]) > 1 or bool(pending_probes[cq_id])
+
+    guard = 0
+    while any(work_left(cq.cq_id) for cq in cqs):
+        guard += 1
+        if guard > 10_000:
+            raise OptimizationError(
+                "factorization did not converge; region state: "
+                f"{ {c: list(r) for c, r in regions.items()} }"
+            )
+        ops = _collect_ops(cqs, cq_by_id, regions, pending_probes, sharing)
+        if not ops:
+            stuck = [cq.cq_id for cq in cqs if work_left(cq.cq_id)]
+            raise OptimizationError(
+                f"no applicable factorization op for queries {stuck}; "
+                "their join graphs are likely disconnected"
+            )
+        key = min(
+            ops,
+            key=lambda k: (-len(ops[k]), cost_model.est_cardinality(k[3]),
+                           repr(k)),
+        )
+        support = ops[key]
+        _apply_op(key, support, plan, regions, pending_probes, scope,
+                  sharing)
+
+    for cq in cqs:
+        (final_id, aliases), = regions[cq.cq_id].items()
+        if aliases != frozenset(cq.expr.aliases):
+            raise OptimizationError(
+                f"{cq.cq_id}: final region covers {sorted(aliases)} != "
+                f"query atoms {sorted(cq.expr.aliases)}"
+            )
+        plan.cq_final[cq.cq_id] = final_id
+        if final_id in plan.components:
+            plan.components[final_id].cqs.add(cq.cq_id)
+    return plan
+
+
+#: op key forms: ("join", idA, idB, combined_expr) with idA < idB,
+#: or ("absorb", idA, probe_alias, combined_expr).
+_OpKey = tuple
+
+
+def _collect_ops(cqs: list[ConjunctiveQuery],
+                 cq_by_id: dict[str, ConjunctiveQuery],
+                 regions: dict[str, dict[str, frozenset[str]]],
+                 pending_probes: dict[str, set[str]],
+                 sharing: bool) -> dict[_OpKey, set[str]]:
+    ops: dict[_OpKey, set[str]] = {}
+    for cq in cqs:
+        cq_regions = regions[cq.cq_id]
+        region_items = sorted(cq_regions.items())
+        for i, (id_a, aliases_a) in enumerate(region_items):
+            for id_b, aliases_b in region_items[i + 1:]:
+                if not _adjacent(cq.expr, aliases_a, aliases_b):
+                    continue
+                combined = cq.expr.induced(aliases_a | aliases_b)
+                first, second = sorted((id_a, id_b))
+                key = ("join", first, second, combined)
+                ops.setdefault(key, set()).add(cq.cq_id)
+            for probe_alias in sorted(pending_probes[cq.cq_id]):
+                if not _adjacent(cq.expr, aliases_a,
+                                 frozenset((probe_alias,))):
+                    continue
+                combined = cq.expr.induced(aliases_a | {probe_alias})
+                key = ("absorb", id_a, probe_alias, combined)
+                ops.setdefault(key, set()).add(cq.cq_id)
+    if not sharing:
+        # Per-query support only: split multi-query ops apart.
+        split: dict[_OpKey, set[str]] = {}
+        for key, support in ops.items():
+            for cq_id in support:
+                split.setdefault(key + (cq_id,), set()).add(cq_id)
+        return split
+    return ops
+
+
+def _adjacent(expr: SPJ, left: frozenset[str], right: frozenset[str]) -> bool:
+    return any(
+        (p.left_alias in left and p.right_alias in right)
+        or (p.right_alias in left and p.left_alias in right)
+        for p in expr.joins
+    )
+
+
+def _apply_op(key: _OpKey, support: set[str], plan: FactorizedPlan,
+              regions: dict[str, dict[str, frozenset[str]]],
+              pending_probes: dict[str, set[str]],
+              scope: str, sharing: bool) -> None:
+    kind = key[0]
+    combined: SPJ = key[3]
+    children: list[str] = []
+    probe_atoms: list[str] = []
+    absorbed_ids: list[str]
+    if kind == "join":
+        absorbed_ids = [key[1], key[2]]
+    else:
+        absorbed_ids = [key[1]]
+        probe_atoms.append(key[2])
+    for node_id in absorbed_ids:
+        spec = plan.components.get(node_id)
+        if spec is not None and spec.cqs == support:
+            # Exclusive component: flatten its inputs into the grown
+            # m-join instead of stacking another operator (the paper's
+            # "as few factored components as possible").
+            children.extend(spec.stream_children)
+            probe_atoms.extend(spec.probe_atoms)
+            del plan.components[node_id]
+        else:
+            children.append(node_id)
+    comp_scope = scope if sharing else f"{scope}:{sorted(support)[0]}"
+    comp_id = "cmp:%s:%s" % (
+        comp_scope,
+        _digest((combined.canonical_key, tuple(sorted(children)),
+                 tuple(sorted(probe_atoms)))),
+    )
+    existing = plan.components.get(comp_id)
+    if existing is not None:
+        existing.cqs.update(support)
+    else:
+        plan.components[comp_id] = ComponentSpec(
+            comp_id=comp_id,
+            expr=combined,
+            stream_children=tuple(sorted(set(children))),
+            probe_atoms=tuple(sorted(set(probe_atoms))),
+            cqs=set(support),
+        )
+    combined_aliases = frozenset(combined.aliases)
+    for cq_id in support:
+        cq_regions = regions[cq_id]
+        for node_id in absorbed_ids:
+            cq_regions.pop(node_id, None)
+        cq_regions[comp_id] = combined_aliases
+        if kind == "absorb":
+            pending_probes[cq_id].discard(key[2])

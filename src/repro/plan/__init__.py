@@ -1,0 +1,56 @@
+"""Logical expressions, AND-OR memo, and the physical plan graph.
+
+Only the dependency-free expression layer is imported eagerly;
+``PlanGraph`` and ``AndOrGraph`` are loaded lazily because they depend
+on the data and operator layers, which themselves import
+``repro.plan.expressions``.
+"""
+
+from typing import Any
+
+from repro.plan.expressions import (
+    SELECTION_OPS,
+    SPJ,
+    Atom,
+    JoinPred,
+    Selection,
+    alias_isomorphism,
+    cross_subexpression_pairs,
+    make_chain,
+    union_of,
+)
+
+__all__ = [
+    "AndNode",
+    "AndOrGraph",
+    "Atom",
+    "JoinPred",
+    "OrNode",
+    "PlanGraph",
+    "SELECTION_OPS",
+    "SPJ",
+    "Selection",
+    "alias_isomorphism",
+    "cross_subexpression_pairs",
+    "make_chain",
+    "union_of",
+]
+
+_LAZY = {
+    "PlanGraph": ("repro.plan.graph", "PlanGraph"),
+    "AndOrGraph": ("repro.plan.andor", "AndOrGraph"),
+    "AndNode": ("repro.plan.andor", "AndNode"),
+    "OrNode": ("repro.plan.andor", "OrNode"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(target[0])
+    value = getattr(module, target[1])
+    globals()[name] = value
+    return value

@@ -1,0 +1,156 @@
+"""AND-OR graph: the multi-query optimizer's memoization structure.
+
+Section 5.1.2: "we employ a memoization structure called an AND-OR
+graph, commonly used in multi-query optimization [26].  The AND-OR
+representation of subexpressions is a directed acyclic graph that
+consists of alternating levels of two types of nodes: 'OR' nodes that
+encode equivalent subexpressions, and 'AND' nodes that encode selection
+and join operations."
+
+Here an :class:`OrNode` is one equivalence class of subexpressions
+(keyed by the expression value -- aliases are shared across queries in
+this pipeline, so value equality is equivalence), and each
+:class:`AndNode` under it is one way of building it: joining two
+smaller OR nodes, or scanning a base relation (with its selections).
+The optimizer enumerates the graph over every connected fragment of
+every query in the batch, then reads candidate inputs off the OR nodes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.plan.expressions import SPJ
+
+if TYPE_CHECKING:  # avoid a circular import; only needed for typing
+    from repro.keyword.queries import ConjunctiveQuery
+
+
+@dataclass(frozen=True)
+class AndNode:
+    """One way to construct an OR node's expression.
+
+    ``kind`` is ``"scan"`` (base relation + selections) or ``"join"``
+    (combine the two child OR nodes; the crossing predicates are
+    implied by the parent expression).
+    """
+
+    kind: str
+    children: tuple[SPJ, ...]
+
+    def __repr__(self) -> str:
+        if self.kind == "scan":
+            return "And(scan)"
+        return f"And(join {' + '.join(c.describe() for c in self.children)})"
+
+
+@dataclass
+class OrNode:
+    """An equivalence class of subexpressions across the query batch."""
+
+    expr: SPJ
+    alternatives: list[AndNode] = field(default_factory=list)
+    queries: set[str] = field(default_factory=set)
+
+    @property
+    def size(self) -> int:
+        return self.expr.size
+
+    def __repr__(self) -> str:
+        return (f"Or({self.expr.describe()}, alts={len(self.alternatives)}, "
+                f"queries={sorted(self.queries)})")
+
+
+class AndOrGraph:
+    """The memo over every connected fragment of a batch of queries."""
+
+    def __init__(self, max_fragment_size: int = 4) -> None:
+        self.max_fragment_size = max_fragment_size
+        self._nodes: dict[SPJ, OrNode] = {}
+
+    # -- construction ----------------------------------------------------------
+
+    def add_queries(self, queries: Iterable["ConjunctiveQuery"]) -> None:
+        """Enumerate all fragments of the given queries into the memo."""
+        for cq in queries:
+            limit = min(self.max_fragment_size, cq.expr.size)
+            for fragment in cq.expr.connected_subexpressions(
+                    min_size=1, max_size=limit):
+                node = self._nodes.get(fragment)
+                if node is None:
+                    node = OrNode(fragment)
+                    self._nodes[fragment] = node
+                    self._expand_alternatives(node)
+                node.queries.add(cq.cq_id)
+
+    def _expand_alternatives(self, node: OrNode) -> None:
+        """Fill in the AND alternatives for one OR node."""
+        expr = node.expr
+        if expr.size == 1:
+            node.alternatives.append(AndNode("scan", (expr,)))
+            return
+        seen: set[frozenset[str]] = set()
+        aliases = list(expr.aliases)
+        # Every connected bipartition (A, B) of the fragment yields a
+        # join alternative.  Enumerate connected subsets A containing
+        # the first alias to avoid the (A, B)/(B, A) double count.
+        anchor = aliases[0]
+        for left_aliases in self._connected_subsets_containing(expr, anchor):
+            if len(left_aliases) == expr.size:
+                continue
+            right_aliases = frozenset(aliases) - left_aliases
+            left = expr.induced(left_aliases)
+            right_expr_aliases = frozenset(right_aliases)
+            if right_expr_aliases in seen:
+                continue
+            seen.add(right_expr_aliases)
+            right = expr.induced(right_aliases)
+            if not right.is_connected():
+                continue
+            crossing = [
+                p for p in expr.joins
+                if (p.left_alias in left_aliases)
+                != (p.right_alias in left_aliases)
+            ]
+            if not crossing:
+                continue
+            node.alternatives.append(AndNode("join", (left, right)))
+
+    def _connected_subsets_containing(self, expr: SPJ, anchor: str
+                                      ) -> list[frozenset[str]]:
+        found: set[frozenset[str]] = {frozenset((anchor,))}
+        frontier = [frozenset((anchor,))]
+        while frontier:
+            subset = frontier.pop()
+            reachable: set[str] = set()
+            for alias in subset:
+                reachable.update(expr.adjacency[alias])
+            for alias in reachable - subset:
+                grown = subset | {alias}
+                if grown not in found:
+                    found.add(grown)
+                    frontier.append(grown)
+        return sorted(found, key=lambda s: (len(s), sorted(s)))
+
+    # -- queries over the memo ----------------------------------------------------
+
+    def node(self, expr: SPJ) -> OrNode | None:
+        return self._nodes.get(expr)
+
+    @property
+    def nodes(self) -> tuple[OrNode, ...]:
+        return tuple(self._nodes.values())
+
+    def shared_nodes(self, min_queries: int = 2) -> list[OrNode]:
+        """OR nodes used by at least ``min_queries`` distinct queries --
+        the raw material for push-down candidates."""
+        return [n for n in self._nodes.values()
+                if len(n.queries) >= min_queries]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:
+        return f"AndOrGraph({len(self._nodes)} OR nodes)"

@@ -1,0 +1,462 @@
+"""Logical select-project-join expressions.
+
+Conjunctive queries (candidate networks) and every shared subexpression
+the optimizer reasons about are instances of :class:`SPJ`: a set of
+relation *atoms* (alias -> relation), equality *join predicates* along
+schema-graph edges, and *selections* (the keyword-match conditions,
+e.g. ``T.name = 'plasma membrane'``).
+
+Two facilities matter for the paper's algorithms:
+
+* **Canonicalization** (:meth:`SPJ.canonical_key`): subexpression sharing
+  across conjunctive queries requires recognising that two SPJ fragments
+  are *the same expression* even when their atoms carry different
+  aliases.  We canonicalize with a Weisfeiler-Leman style relabeling,
+  which fully distinguishes the tree-shaped join graphs produced by
+  candidate-network generation.
+
+* **Connected subexpression enumeration**
+  (:meth:`SPJ.connected_subexpressions`): the AND-OR candidate
+  enumeration of Section 5.1.2 and the "do not consider overlapping
+  pushed-down subexpressions" heuristic both iterate over the connected
+  induced fragments of each query.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.common.errors import QueryError
+
+#: Selection operators understood by the simulated sites.
+SELECTION_OPS = ("eq", "contains", "ge", "le")
+
+
+@dataclass(frozen=True, order=True)
+class Atom:
+    """One occurrence of a relation in an expression.
+
+    ``alias`` is unique within the expression; ``relation`` names the
+    schema relation.  The same relation may appear under several
+    aliases (self-joins through synonym tables, etc.).
+    """
+
+    alias: str
+    relation: str
+
+
+@dataclass(frozen=True, order=True)
+class Selection:
+    """A predicate ``alias.attr <op> value`` applied at one atom."""
+
+    alias: str
+    attr: str
+    op: str
+    value: object
+
+    def __post_init__(self) -> None:
+        if self.op not in SELECTION_OPS:
+            raise QueryError(
+                f"unknown selection operator {self.op!r}; "
+                f"expected one of {SELECTION_OPS}"
+            )
+
+    def matches(self, row_values: Mapping[str, object]) -> bool:
+        """Evaluate this predicate against a raw row's values."""
+        actual = row_values.get(self.attr)
+        if actual is None:
+            return False
+        if self.op == "eq":
+            return actual == self.value
+        if self.op == "contains":
+            return str(self.value) in str(actual)
+        if self.op == "ge":
+            return actual >= self.value  # type: ignore[operator]
+        return actual <= self.value  # type: ignore[operator]
+
+
+@dataclass(frozen=True, order=True)
+class JoinPred:
+    """An equality join ``left_alias.left_attr = right_alias.right_attr``.
+
+    Construct via :meth:`normalized` so that the two sides are stored in
+    a deterministic order and structurally-equal predicates compare
+    equal.
+    """
+
+    left_alias: str
+    left_attr: str
+    right_alias: str
+    right_attr: str
+
+    @classmethod
+    def normalized(cls, alias_a: str, attr_a: str,
+                   alias_b: str, attr_b: str) -> "JoinPred":
+        if alias_a == alias_b:
+            raise QueryError(
+                f"join predicate must link two distinct atoms, got "
+                f"{alias_a}.{attr_a} = {alias_b}.{attr_b}"
+            )
+        if (alias_a, attr_a) <= (alias_b, attr_b):
+            return cls(alias_a, attr_a, alias_b, attr_b)
+        return cls(alias_b, attr_b, alias_a, attr_a)
+
+    def touches(self, alias: str) -> bool:
+        return alias in (self.left_alias, self.right_alias)
+
+    def side_for(self, alias: str) -> tuple[str, str]:
+        """Return ``(my_attr, other_alias)`` oriented from ``alias``."""
+        if alias == self.left_alias:
+            return self.left_attr, self.right_alias
+        if alias == self.right_alias:
+            return self.right_attr, self.left_alias
+        raise QueryError(f"{alias!r} is not part of join {self}")
+
+    def other(self, alias: str) -> str:
+        attr_unused, other_alias = self.side_for(alias)
+        return other_alias
+
+
+class SPJ:
+    """An immutable select-project-join expression.
+
+    Instances are value objects: equality and hashing are structural
+    (over atoms, joins, and selections, *not* canonicalized -- use
+    :meth:`canonical_key` to compare modulo alias renaming).
+    """
+
+    __slots__ = ("atoms", "joins", "selections", "_hash", "__dict__")
+
+    def __init__(self, atoms: Iterable[Atom],
+                 joins: Iterable[JoinPred] = (),
+                 selections: Iterable[Selection] = ()) -> None:
+        atoms = tuple(sorted(atoms))
+        if not atoms:
+            raise QueryError("an SPJ expression needs at least one atom")
+        aliases = [a.alias for a in atoms]
+        if len(set(aliases)) != len(aliases):
+            raise QueryError(f"duplicate aliases in expression: {aliases}")
+        alias_set = set(aliases)
+        joins = frozenset(joins)
+        selections = frozenset(selections)
+        for pred in joins:
+            for alias in (pred.left_alias, pred.right_alias):
+                if alias not in alias_set:
+                    raise QueryError(
+                        f"join {pred} references unknown alias {alias!r}"
+                    )
+        for sel in selections:
+            if sel.alias not in alias_set:
+                raise QueryError(
+                    f"selection {sel} references unknown alias {sel.alias!r}"
+                )
+        object.__setattr__(self, "atoms", atoms)
+        object.__setattr__(self, "joins", joins)
+        object.__setattr__(self, "selections", selections)
+        # SPJ objects are used as dict keys throughout the optimizer;
+        # the hash over three frozen collections is expensive enough to
+        # show up in profiles, so compute it once.
+        object.__setattr__(self, "_hash", hash((atoms, joins, selections)))
+
+    # -- basic structure ------------------------------------------------
+
+    @cached_property
+    def aliases(self) -> tuple[str, ...]:
+        return tuple(a.alias for a in self.atoms)
+
+    @cached_property
+    def alias_to_relation(self) -> dict[str, str]:
+        return {a.alias: a.relation for a in self.atoms}
+
+    @cached_property
+    def relations(self) -> tuple[str, ...]:
+        """Sorted multiset of relation names used by this expression."""
+        return tuple(sorted(a.relation for a in self.atoms))
+
+    @property
+    def size(self) -> int:
+        return len(self.atoms)
+
+    def selections_on(self, alias: str) -> tuple[Selection, ...]:
+        return tuple(sorted(s for s in self.selections if s.alias == alias))
+
+    def joins_on(self, alias: str) -> tuple[JoinPred, ...]:
+        return tuple(sorted(j for j in self.joins if j.touches(alias)))
+
+    @cached_property
+    def adjacency(self) -> dict[str, tuple[str, ...]]:
+        """alias -> sorted tuple of join-neighbour aliases."""
+        neighbours: dict[str, set[str]] = {a: set() for a in self.aliases}
+        for pred in self.joins:
+            neighbours[pred.left_alias].add(pred.right_alias)
+            neighbours[pred.right_alias].add(pred.left_alias)
+        return {a: tuple(sorted(ns)) for a, ns in neighbours.items()}
+
+    def is_connected(self) -> bool:
+        """Whether the join graph links every atom (single atoms count)."""
+        seen = {self.aliases[0]}
+        frontier = [self.aliases[0]]
+        while frontier:
+            current = frontier.pop()
+            for neighbour in self.adjacency[current]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return len(seen) == len(self.aliases)
+
+    # -- derived expressions ---------------------------------------------
+
+    def induced(self, aliases: Iterable[str]) -> "SPJ":
+        """The sub-expression induced by a subset of aliases.
+
+        Keeps every join and selection whose aliases all fall inside the
+        subset.
+        """
+        keep = set(aliases)
+        unknown = keep - set(self.aliases)
+        if unknown:
+            raise QueryError(f"cannot induce on unknown aliases {sorted(unknown)}")
+        atoms = [a for a in self.atoms if a.alias in keep]
+        joins = [j for j in self.joins
+                 if j.left_alias in keep and j.right_alias in keep]
+        selections = [s for s in self.selections if s.alias in keep]
+        return SPJ(atoms, joins, selections)
+
+    def connected_subexpressions(self, min_size: int = 1,
+                                 max_size: int | None = None
+                                 ) -> Iterator["SPJ"]:
+        """Yield every connected induced subexpression, smallest first.
+
+        Enumeration grows connected alias sets breadth-first and
+        deduplicates by frozenset, so each subset is yielded exactly
+        once.  ``max_size`` defaults to the full expression size.
+        """
+        if max_size is None:
+            max_size = self.size
+        seen: set[frozenset[str]] = set()
+        frontier: list[frozenset[str]] = []
+        for alias in self.aliases:
+            singleton = frozenset((alias,))
+            seen.add(singleton)
+            frontier.append(singleton)
+        by_size: dict[int, list[frozenset[str]]] = {1: list(frontier)}
+        size = 1
+        while size < max_size:
+            next_level: list[frozenset[str]] = []
+            for subset in by_size.get(size, ()):
+                reachable: set[str] = set()
+                for alias in subset:
+                    reachable.update(self.adjacency[alias])
+                for alias in reachable - subset:
+                    grown = subset | {alias}
+                    if grown not in seen:
+                        seen.add(grown)
+                        next_level.append(grown)
+            if not next_level:
+                break
+            by_size[size + 1] = next_level
+            size += 1
+        for size in range(min_size, max_size + 1):
+            for subset in sorted(by_size.get(size, ()), key=sorted):
+                yield self.induced(subset)
+
+    def overlaps(self, other: "SPJ") -> bool:
+        """Whether the two expressions share any alias."""
+        return bool(set(self.aliases) & set(other.aliases))
+
+    def contains_aliases(self, other: "SPJ") -> bool:
+        """Whether ``other``'s alias set is a subset of ours with the
+        same induced structure (used for within-query subexpression
+        tests where aliases are drawn from the same namespace)."""
+        keep = set(other.aliases)
+        if not keep <= set(self.aliases):
+            return False
+        return self.induced(keep) == other
+
+    # -- canonicalization --------------------------------------------------
+
+    @cached_property
+    def canonical_renaming(self) -> dict[str, str]:
+        """Map each alias to its canonical name (``q0``, ``q1``, ...).
+
+        Computed by iterated Weisfeiler-Leman refinement: each atom's
+        signature starts as (relation, its selections) and repeatedly
+        absorbs the multiset of (edge attribute pair, neighbour
+        signature).  Tree-shaped join graphs -- which is what candidate
+        networks produce -- are fully distinguished after ``size``
+        rounds.  Two equivalent expressions get renamings that compose
+        into an isomorphism between them (see :func:`alias_isomorphism`).
+        """
+        sig: dict[str, str] = {}
+        for atom in self.atoms:
+            sels = tuple(
+                (s.attr, s.op, repr(s.value))
+                for s in self.selections_on(atom.alias)
+            )
+            sig[atom.alias] = _digest((atom.relation, sels))
+        incident: dict[str, list[JoinPred]] = {a: [] for a in self.aliases}
+        for pred in self.joins:
+            incident[pred.left_alias].append(pred)
+            incident[pred.right_alias].append(pred)
+        for _round in range(max(2, self.size)):
+            new_sig: dict[str, str] = {}
+            for alias in self.aliases:
+                neighbour_part = sorted(
+                    (pred.side_for(alias)[0],
+                     _attr_of(pred, pred.other(alias)),
+                     sig[pred.other(alias)])
+                    for pred in incident[alias]
+                )
+                new_sig[alias] = _digest((sig[alias], tuple(neighbour_part)))
+            sig = new_sig
+        order = sorted(self.aliases, key=lambda a: (sig[a], a))
+        return {alias: f"q{i}" for i, alias in enumerate(order)}
+
+    @cached_property
+    def canonical_key(self) -> str:
+        """A string identifying this expression modulo alias renaming."""
+        rename = self.canonical_renaming
+        atoms = tuple(sorted(
+            (rename[a.alias], a.relation) for a in self.atoms
+        ))
+        joins = tuple(sorted(
+            tuple(sorted(
+                ((rename[p.left_alias], p.left_attr),
+                 (rename[p.right_alias], p.right_attr))
+            ))
+            for p in self.joins
+        ))
+        selections = tuple(sorted(
+            (rename[s.alias], s.attr, s.op, repr(s.value))
+            for s in self.selections
+        ))
+        return _digest((atoms, joins, selections))
+
+    def is_equivalent(self, other: "SPJ") -> bool:
+        """Structural equality modulo alias renaming."""
+        return self.canonical_key == other.canonical_key
+
+    def is_subexpression_of(self, container: "SPJ") -> bool:
+        """Whether this expression occurs (modulo renaming) inside
+        ``container`` as a connected induced fragment."""
+        if self.size > container.size:
+            return False
+        target = self.canonical_key
+        for candidate in container.connected_subexpressions(
+                min_size=self.size, max_size=self.size):
+            if candidate.canonical_key == target:
+                return True
+        return False
+
+    # -- value semantics --------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SPJ):
+            return NotImplemented
+        return (self.atoms == other.atoms and self.joins == other.joins
+                and self.selections == other.selections)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        parts = [f"{a.alias}:{a.relation}" for a in self.atoms]
+        if self.selections:
+            parts.append(
+                "sel=" + ",".join(
+                    f"{s.alias}.{s.attr}{s.op}{s.value!r}"
+                    for s in sorted(self.selections))
+            )
+        return f"SPJ({' '.join(parts)})"
+
+    def describe(self) -> str:
+        """A human-readable rendering, e.g. ``s(T) |X| G2G |X| GI``."""
+        names = []
+        for atom in self.atoms:
+            if self.selections_on(atom.alias):
+                names.append(f"s({atom.relation})")
+            else:
+                names.append(atom.relation)
+        return " |X| ".join(names)
+
+
+def _attr_of(pred: JoinPred, alias: str) -> str:
+    attr, _other = pred.side_for(alias)
+    return attr
+
+
+def _digest(payload: object) -> str:
+    return hashlib.blake2s(repr(payload).encode(), digest_size=10).hexdigest()
+
+
+def make_chain(relations: list[tuple[str, str, str, str]],
+               selections: Iterable[Selection] = ()) -> SPJ:
+    """Convenience: build a chain query R0 -a0=b1- R1 -a1=b2- R2 ...
+
+    ``relations`` lists ``(relation, alias, join_attr_to_prev,
+    prev_join_attr)`` quadruples; the first entry's join attributes are
+    ignored.  Used heavily by tests and examples.
+    """
+    atoms = []
+    joins = []
+    prev_alias: str | None = None
+    for relation, alias, attr_to_prev, prev_attr in relations:
+        atoms.append(Atom(alias, relation))
+        if prev_alias is not None:
+            joins.append(JoinPred.normalized(
+                prev_alias, prev_attr, alias, attr_to_prev))
+        prev_alias = alias
+    return SPJ(atoms, joins, selections)
+
+
+def union_of(parts: Iterable[SPJ], extra_joins: Iterable[JoinPred] = ()) -> SPJ:
+    """Combine disjoint-alias fragments plus bridging joins into one SPJ."""
+    atoms: list[Atom] = []
+    joins: list[JoinPred] = []
+    selections: list[Selection] = []
+    for part in parts:
+        atoms.extend(part.atoms)
+        joins.extend(part.joins)
+        selections.extend(part.selections)
+    joins.extend(extra_joins)
+    return SPJ(atoms, joins, selections)
+
+
+def alias_isomorphism(source: SPJ, target: SPJ) -> dict[str, str]:
+    """An alias mapping carrying ``source`` onto the equivalent ``target``.
+
+    Both expressions must have the same canonical key; the mapping
+    composes ``source``'s canonical renaming with the inverse of
+    ``target``'s.  Used when a shared input expression's output tuples
+    must be re-labelled with a consuming query's own aliases.
+    """
+    if source.canonical_key != target.canonical_key:
+        raise QueryError(
+            f"no isomorphism: {source!r} and {target!r} are not equivalent"
+        )
+    inverse_target = {
+        canon: alias for alias, canon in target.canonical_renaming.items()
+    }
+    return {
+        alias: inverse_target[canon]
+        for alias, canon in source.canonical_renaming.items()
+    }
+
+
+def cross_subexpression_pairs(left: SPJ, right: SPJ
+                              ) -> Iterator[tuple[SPJ, SPJ]]:
+    """Yield pairs of equivalent connected fragments, one from each query.
+
+    Used by tests and by the optimizer's sharing diagnostics; pairs are
+    produced smallest-first.
+    """
+    right_by_key: dict[str, list[SPJ]] = {}
+    for fragment in right.connected_subexpressions():
+        right_by_key.setdefault(fragment.canonical_key, []).append(fragment)
+    for fragment in left.connected_subexpressions():
+        for twin in right_by_key.get(fragment.canonical_key, ()):
+            yield fragment, twin

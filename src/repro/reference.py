@@ -1,0 +1,116 @@
+"""Reference (oracle) evaluation: exhaustive, unshared, unranked.
+
+This module computes query answers the slow-but-obviously-correct way:
+full hash joins over complete relations, ignoring sites, streams,
+thresholds, and sharing.  The test suite and the experiment harness use
+it to verify that the pipelined, shared, threshold-driven engine
+returns exactly the top-k answers it should.
+
+Nothing here is part of the paper's system -- it is the ground truth
+the system is measured against.
+"""
+
+from __future__ import annotations
+
+from repro.data.database import Federation
+from repro.data.rows import STuple
+from repro.keyword.queries import ConjunctiveQuery, UserQuery
+from repro.plan.expressions import SPJ
+
+
+def evaluate_spj(federation: Federation, expr: SPJ) -> list[STuple]:
+    """All result tuples of an SPJ expression, joined across sites."""
+    candidates: dict[str, list[STuple]] = {}
+    for atom in expr.atoms:
+        database = federation.database_for(atom.relation)
+        rows = database.scan_sorted(atom.relation,
+                                    expr.selections_on(atom.alias))
+        candidates[atom.alias] = [
+            STuple.single(atom.alias, row,
+                          database.contribution(atom.relation, row.tid))
+            for row in rows
+        ]
+    order = _join_order(expr, candidates)
+    partials = candidates[order[0]]
+    bound = {order[0]}
+    for alias in order[1:]:
+        preds = [p for p in expr.joins_on(alias) if p.other(alias) in bound]
+        index: dict[tuple, list[STuple]] = {}
+        for tup in candidates[alias]:
+            key = tuple(
+                tup.value(alias, p.side_for(alias)[0]) for p in preds
+            )
+            index.setdefault(key, []).append(tup)
+        grown = []
+        for partial in partials:
+            key = tuple(
+                partial.value(p.other(alias),
+                              p.side_for(p.other(alias))[0])
+                for p in preds
+            )
+            for match in index.get(key, ()):
+                grown.append(partial.merge(match))
+        partials = grown
+        bound.add(alias)
+        if not partials:
+            return []
+    return partials
+
+
+def _join_order(expr: SPJ, candidates: dict[str, list[STuple]]) -> list[str]:
+    remaining = set(expr.aliases)
+    start = min(remaining, key=lambda a: (len(candidates[a]), a))
+    order = [start]
+    remaining.remove(start)
+    while remaining:
+        frontier = [
+            a for a in remaining
+            if any(p.other(a) in order for p in expr.joins_on(a))
+        ]
+        if not frontier:
+            # Disconnected expression: fall back to cross products via
+            # an arbitrary next alias (reference only; never fast).
+            frontier = sorted(remaining)
+        nxt = min(frontier, key=lambda a: (len(candidates[a]), a))
+        order.append(nxt)
+        remaining.remove(nxt)
+    return order
+
+
+def evaluate_cq(federation: Federation, cq: ConjunctiveQuery
+                ) -> list[tuple[float, STuple]]:
+    """All scored results of one conjunctive query, best first.
+
+    Sorting is by score only; Python's stable sort plus the
+    deterministic join order make the outcome reproducible, and
+    comparisons against the engine use score vectors (tied answers are
+    interchangeable).
+    """
+    scored = [
+        (cq.score.score(tup), tup)
+        for tup in evaluate_spj(federation, cq.expr)
+    ]
+    scored.sort(key=lambda pair: -pair[0])
+    return scored
+
+
+def brute_force_topk(federation: Federation, uq: UserQuery
+                     ) -> list[tuple[float, str, STuple]]:
+    """The true top-k answers of a user query: ``(score, cq_id, tuple)``.
+
+    Results across CQs are pooled and globally sorted by score (stable,
+    hence deterministic); tied answers are interchangeable, so compare
+    score vectors, not provenance.
+    """
+    pool: list[tuple[float, str, STuple]] = []
+    for cq in uq.cqs:
+        for score, tup in evaluate_cq(federation, cq):
+            pool.append((score, cq.cq_id, tup))
+    pool.sort(key=lambda item: -item[0])
+    return pool[: uq.k]
+
+
+def topk_scores(federation: Federation, uq: UserQuery) -> list[float]:
+    """Just the true top-k score vector (the usual comparison target:
+    score vectors must match even when ties permute the answers)."""
+    return [score for score, _cq, _tup in brute_force_topk(federation, uq)]

@@ -1,0 +1,24 @@
+"""Score functions: monotone models with upper-bound support."""
+
+from repro.scoring.base import MonotoneScore, intrinsic_order_is_score_order
+from repro.scoring.models import (
+    SCORING_MODELS,
+    banks_score,
+    contribution_caps,
+    discover_score,
+    qsystem_score,
+    tree_edges,
+    user_coefficients,
+)
+
+__all__ = [
+    "MonotoneScore",
+    "SCORING_MODELS",
+    "banks_score",
+    "contribution_caps",
+    "discover_score",
+    "intrinsic_order_is_score_order",
+    "qsystem_score",
+    "tree_edges",
+    "user_coefficients",
+]

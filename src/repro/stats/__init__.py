@@ -1,0 +1,5 @@
+"""Metrics collection for the experiment harness."""
+
+from repro.stats.metrics import Metrics, OptimizerRecord, UQRecord
+
+__all__ = ["Metrics", "OptimizerRecord", "UQRecord"]

@@ -1,0 +1,18 @@
+"""Workload generators: the paper's synthetic and real-data suites."""
+
+from repro.workload.realdata import build_realdata_workload, realdata_workload_config
+from repro.workload.synthetic import (
+    WorkloadConfig,
+    arrival_times,
+    build_workload,
+    zipf_keyword_pairs,
+)
+
+__all__ = [
+    "WorkloadConfig",
+    "arrival_times",
+    "build_realdata_workload",
+    "build_workload",
+    "realdata_workload_config",
+    "zipf_keyword_pairs",
+]

@@ -1,0 +1,129 @@
+"""Tests for the query batcher and the metrics layer."""
+
+import pytest
+
+from repro.atc.batcher import QueryBatcher
+from repro.keyword.queries import UserQuery
+from repro.stats.metrics import Metrics, OptimizerRecord, UQRecord
+
+from tests.conftest import abc_expr, load_triple_federation, make_cq
+
+
+def make_uq(uq_id, arrival, fed):
+    return UserQuery(uq_id, ("kw",),
+                     [make_cq(abc_expr(), fed, f"{uq_id}-c", uq_id)],
+                     k=3, arrival=arrival)
+
+
+@pytest.fixture()
+def fed():
+    return load_triple_federation()
+
+
+class TestBatcher:
+    def test_batches_of_size(self, fed):
+        batcher = QueryBatcher(batch_size=2, window=100)
+        for i in range(5):
+            batcher.submit(make_uq(f"u{i}", float(i), fed))
+        batches = batcher.drain()
+        assert [len(b.uqs) for b in batches] == [2, 2, 1]
+
+    def test_window_closes_batch(self, fed):
+        batcher = QueryBatcher(batch_size=10, window=5)
+        batcher.submit(make_uq("u1", 0.0, fed))
+        batcher.submit(make_uq("u2", 3.0, fed))
+        batcher.submit(make_uq("u3", 50.0, fed))
+        batches = batcher.drain()
+        assert [len(b.uqs) for b in batches] == [2, 1]
+
+    def test_dispatch_time_is_last_arrival(self, fed):
+        batcher = QueryBatcher(batch_size=3, window=100)
+        batcher.submit(make_uq("u1", 1.0, fed))
+        batcher.submit(make_uq("u2", 4.0, fed))
+        batch = batcher.drain()[0]
+        assert batch.dispatch_time == 4.0
+
+    def test_arrival_order_respected(self, fed):
+        batcher = QueryBatcher(batch_size=2, window=100)
+        batcher.submit(make_uq("u2", 5.0, fed))
+        batcher.submit(make_uq("u1", 1.0, fed))
+        batch = batcher.drain()[0]
+        assert [u.uq_id for u in batch.uqs] == ["u1", "u2"]
+
+    def test_drain_clears_pending(self, fed):
+        batcher = QueryBatcher(batch_size=2)
+        batcher.submit(make_uq("u1", 0.0, fed))
+        batcher.drain()
+        assert batcher.drain() == []
+
+    def test_cq_count(self, fed):
+        batcher = QueryBatcher(batch_size=5)
+        batcher.submit_all([make_uq("u1", 0.0, fed),
+                            make_uq("u2", 1.0, fed)])
+        assert batcher.drain()[0].cq_count == 2
+
+    def test_empty_drain(self):
+        assert QueryBatcher().drain() == []
+
+
+class TestMetrics:
+    def test_record_stream_read(self):
+        metrics = Metrics()
+        metrics.record_stream_read("s1", 0.002)
+        metrics.record_stream_read("s1", 0.003)
+        assert metrics.stream_tuples_read == 2
+        assert metrics.stream_read_time == pytest.approx(0.005)
+        assert metrics.per_source_reads["s1"] == 2
+
+    def test_record_probe_cached(self):
+        metrics = Metrics()
+        metrics.record_probe(0.002, cached=False)
+        metrics.record_probe(0.0, cached=True)
+        assert metrics.probes_performed == 2
+        assert metrics.probe_cache_hits == 1
+
+    def test_breakdown_fractions_sum_to_one(self):
+        metrics = Metrics()
+        metrics.record_stream_read("s", 0.5)
+        metrics.record_probe(0.3, cached=False)
+        metrics.record_join_probe(0.2)
+        breakdown = metrics.breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+        assert breakdown["stream"] == pytest.approx(0.5)
+
+    def test_breakdown_empty(self):
+        assert Metrics().breakdown() == {
+            "stream": 0.0, "random_access": 0.0, "join": 0.0}
+
+    def test_total_input_tuples(self):
+        metrics = Metrics()
+        metrics.record_stream_read("s", 0.1)
+        metrics.record_probe(0.1, cached=False)
+        assert metrics.total_input_tuples == 2
+
+    def test_merge_from(self):
+        a, b = Metrics(), Metrics()
+        a.record_stream_read("s", 0.1)
+        b.record_stream_read("s", 0.2)
+        b.record_uq(UQRecord("u1", 0.0, 0.0, completed=5.0))
+        b.optimizer_records.append(OptimizerRecord(3, 7, 0.01, 5))
+        a.merge_from(b)
+        assert a.stream_tuples_read == 2
+        assert a.stream_read_time == pytest.approx(0.3)
+        assert "u1" in a.uq_records
+        assert len(a.optimizer_records) == 1
+
+    def test_uq_record_latency(self):
+        record = UQRecord("u", arrival=2.0, started=3.0, completed=7.5)
+        assert record.latency == pytest.approx(5.5)
+        assert record.execution_time == pytest.approx(4.5)
+
+    def test_uq_record_incomplete(self):
+        record = UQRecord("u", arrival=2.0, started=3.0)
+        assert record.latency is None
+        assert record.execution_time is None
+
+    def test_snapshot_keys(self):
+        snapshot = Metrics().snapshot()
+        assert "stream_read_time" in snapshot
+        assert "total_input_tuples" in snapshot

@@ -1,0 +1,42 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _build_parser, _mode_from_name, main
+from repro.common.config import SharingMode
+
+
+class TestParser:
+    def test_search_parses(self):
+        args = _build_parser().parse_args(
+            ["search", "protein", "plasma membrane", "-k", "5"])
+        assert args.command == "search"
+        assert args.keywords == ["protein", "plasma membrane"]
+        assert args.k == 5
+
+    def test_experiment_parses(self):
+        args = _build_parser().parse_args(["experiment", "table4"])
+        assert args.name == "table4"
+        assert args.scale == "quick"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(["experiment", "figure99"])
+
+    def test_mode_lookup(self):
+        assert _mode_from_name("ATC-CL") is SharingMode.ATC_CL
+        with pytest.raises(ValueError):
+            _mode_from_name("ATC-XX")
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args([])
+
+
+class TestSearchCommand:
+    def test_end_to_end(self, capsys):
+        exit_code = main(["search", "protein", "gene", "-k", "3"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "candidate networks" in out
+        assert "CQs executed" in out

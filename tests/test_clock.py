@@ -1,0 +1,90 @@
+"""Tests for virtual time."""
+
+import pytest
+
+from repro.common.clock import StopWatch, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(-1.0)
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == 2.0
+
+    def test_advance_rejects_negative(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_advance_zero_is_noop(self):
+        clock = VirtualClock(3.0)
+        clock.advance(0.0)
+        assert clock.now == 3.0
+
+    def test_advance_to_future(self):
+        clock = VirtualClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = VirtualClock(10.0)
+        clock.advance_to(5.0)
+        assert clock.now == 10.0
+
+    def test_advance_returns_new_time(self):
+        clock = VirtualClock()
+        assert clock.advance(2.0) == 2.0
+
+
+class TestStopWatch:
+    def test_accumulates_intervals(self):
+        clock = VirtualClock()
+        watch = StopWatch("probe")
+        watch.start(clock)
+        clock.advance(1.0)
+        watch.stop(clock)
+        watch.start(clock)
+        clock.advance(2.0)
+        watch.stop(clock)
+        assert watch.total == 3.0
+
+    def test_double_start_rejected(self):
+        clock = VirtualClock()
+        watch = StopWatch("x")
+        watch.start(clock)
+        with pytest.raises(RuntimeError):
+            watch.start(clock)
+
+    def test_stop_without_start_rejected(self):
+        watch = StopWatch("x")
+        with pytest.raises(RuntimeError):
+            watch.stop(VirtualClock())
+
+    def test_add_direct(self):
+        watch = StopWatch("x")
+        watch.add(0.25)
+        watch.add(0.75)
+        assert watch.total == 1.0
+
+    def test_add_negative_rejected(self):
+        watch = StopWatch("x")
+        with pytest.raises(ValueError):
+            watch.add(-0.5)
+
+    def test_stop_returns_elapsed(self):
+        clock = VirtualClock()
+        watch = StopWatch("x")
+        watch.start(clock)
+        clock.advance(4.0)
+        assert watch.stop(clock) == 4.0

@@ -1,0 +1,108 @@
+"""Tests for Section 6.1 user-query clustering."""
+
+from repro.keyword.queries import UserQuery
+from repro.optimizer.clustering import (
+    IncrementalClusterer,
+    cluster_user_queries,
+    jaccard,
+)
+
+from tests.conftest import abc_expr, load_triple_federation, make_cq
+
+
+def make_uq(uq_id, aliases_list, fed):
+    cqs = []
+    for i, aliases in enumerate(aliases_list):
+        expr = abc_expr().induced(set(aliases))
+        cqs.append(make_cq(expr, fed, f"{uq_id}-cq{i}", uq_id))
+    return UserQuery(uq_id, ("kw",), cqs, k=3)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard({1, 2}, {1, 2}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard({1}, {2}) == 0.0
+
+    def test_partial(self):
+        assert jaccard({1, 2}, {2, 3}) == 1 / 3
+
+    def test_empty_defined_zero(self):
+        assert jaccard(set(), {1}) == 0.0
+        assert jaccard(set(), set()) == 0.0
+
+
+class TestBatchClustering:
+    def test_similar_queries_cluster_together(self):
+        fed = load_triple_federation()
+        uq1 = make_uq("u1", [["A", "B"], ["A", "B", "C"]], fed)
+        uq2 = make_uq("u2", [["A", "B"]], fed)
+        clusters = cluster_user_queries([uq1, uq2], min_refs=0,
+                                        merge_threshold=0.4)
+        assert len(clusters) == 1
+        assert {u.uq_id for u in clusters[0]} == {"u1", "u2"}
+
+    def test_dissimilar_queries_split(self):
+        fed = load_triple_federation()
+        uq1 = make_uq("u1", [["A"], ["A"]], fed)
+        uq2 = make_uq("u2", [["C"], ["C"]], fed)
+        clusters = cluster_user_queries([uq1, uq2], min_refs=0,
+                                        merge_threshold=0.9)
+        assert len(clusters) == 2
+
+    def test_every_query_assigned_exactly_once(self):
+        fed = load_triple_federation()
+        uqs = [
+            make_uq("u1", [["A", "B"]], fed),
+            make_uq("u2", [["B", "C"]], fed),
+            make_uq("u3", [["C"]], fed),
+        ]
+        clusters = cluster_user_queries(uqs, min_refs=0,
+                                        merge_threshold=0.5)
+        seen = [u.uq_id for cluster in clusters for u in cluster]
+        assert sorted(seen) == ["u1", "u2", "u3"]
+
+    def test_min_refs_gate(self):
+        fed = load_triple_federation()
+        # One CQ referencing A: with min_refs=1 ("more than Tm times"),
+        # a single reference does not join the seed cluster.
+        uq = make_uq("u1", [["A"]], fed)
+        clusters = cluster_user_queries([uq], min_refs=1,
+                                        merge_threshold=0.5)
+        assert len(clusters) == 1  # falls back to a singleton
+
+    def test_empty_workload(self):
+        assert cluster_user_queries([]) == []
+
+
+class TestIncrementalClusterer:
+    def test_first_query_founds_cluster(self):
+        fed = load_triple_federation()
+        clusterer = IncrementalClusterer(merge_threshold=0.5)
+        uq = make_uq("u1", [["A", "B"]], fed)
+        graph_id = clusterer.assign(uq)
+        assert clusterer.cluster_count() == 1
+        assert clusterer.members[graph_id] == ["u1"]
+
+    def test_similar_joins_existing(self):
+        fed = load_triple_federation()
+        clusterer = IncrementalClusterer(merge_threshold=0.5)
+        g1 = clusterer.assign(make_uq("u1", [["A", "B"]], fed))
+        g2 = clusterer.assign(make_uq("u2", [["A", "B"]], fed))
+        assert g1 == g2
+
+    def test_dissimilar_founds_new(self):
+        fed = load_triple_federation()
+        clusterer = IncrementalClusterer(merge_threshold=0.6)
+        g1 = clusterer.assign(make_uq("u1", [["A"]], fed))
+        g2 = clusterer.assign(make_uq("u2", [["C"]], fed))
+        assert g1 != g2
+        assert clusterer.cluster_count() == 2
+
+    def test_footprint_grows(self):
+        fed = load_triple_federation()
+        clusterer = IncrementalClusterer(merge_threshold=0.3)
+        g1 = clusterer.assign(make_uq("u1", [["A", "B"]], fed))
+        clusterer.assign(make_uq("u2", [["A", "B", "C"]], fed))
+        assert clusterer.footprints[g1] == {"A", "B", "C"}

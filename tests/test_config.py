@@ -1,0 +1,69 @@
+"""Tests for execution configuration."""
+
+import pytest
+
+from repro.common.config import DelayModel, ExecutionConfig, SharingMode
+
+
+class TestDelayModel:
+    def test_defaults_match_paper(self):
+        delays = DelayModel()
+        assert delays.stream_read_mean == 0.002
+        assert delays.random_probe_mean == 0.002
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            DelayModel(stream_read_mean=-0.1)
+
+    def test_negative_cpu_rejected(self):
+        with pytest.raises(ValueError):
+            DelayModel(cpu_probe=-1e-9)
+
+
+class TestExecutionConfig:
+    def test_defaults(self):
+        config = ExecutionConfig()
+        assert config.k == 50
+        assert config.batch_size == 5
+        assert config.max_cqs_per_uq == 20
+        assert config.mode is SharingMode.ATC_FULL
+
+    @pytest.mark.parametrize("field,value", [
+        ("k", 0), ("k", -1), ("batch_size", 0), ("max_cqs_per_uq", 0),
+        ("memory_budget_tuples", 0),
+    ])
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            ExecutionConfig(**{field: value})
+
+    def test_jaccard_range_enforced(self):
+        with pytest.raises(ValueError):
+            ExecutionConfig(cluster_jaccard=1.5)
+
+    def test_with_mode_copies(self):
+        base = ExecutionConfig(k=10)
+        derived = base.with_mode(SharingMode.ATC_CQ)
+        assert derived.mode is SharingMode.ATC_CQ
+        assert derived.k == 10
+        assert base.mode is SharingMode.ATC_FULL
+
+    def test_with_overrides(self):
+        config = ExecutionConfig().with_overrides(batch_size=1, k=7)
+        assert config.batch_size == 1
+        assert config.k == 7
+
+    @pytest.mark.parametrize("mode,within,across,reuse", [
+        (SharingMode.ATC_CQ, False, False, False),
+        (SharingMode.ATC_UQ, True, False, False),
+        (SharingMode.ATC_FULL, True, True, True),
+        (SharingMode.ATC_CL, True, True, True),
+    ])
+    def test_sharing_flags(self, mode, within, across, reuse):
+        config = ExecutionConfig(mode=mode)
+        assert config.shares_within_uq is within
+        assert config.shares_across_uqs is across
+        assert config.reuses_state is reuse
+
+    def test_mode_str_matches_paper_names(self):
+        assert str(SharingMode.ATC_CQ) == "ATC-CQ"
+        assert str(SharingMode.ATC_FULL) == "ATC-FULL"

@@ -1,0 +1,148 @@
+"""Tests for the simulated site databases and federation."""
+
+import pytest
+
+from repro.common.errors import DataError
+from repro.data.database import Federation
+from repro.plan.expressions import SPJ, Atom, JoinPred, Selection
+
+from tests.conftest import abc_expr, load_triple_federation, make_triple_schema
+
+
+class TestLoading:
+    def test_load_counts(self, triple_federation):
+        assert triple_federation.cardinality("A") == 3
+        assert triple_federation.cardinality("B") == 4
+
+    def test_missing_attribute_rejected(self):
+        federation = Federation(make_triple_schema())
+        with pytest.raises(DataError):
+            federation.load("A", [{"x": 1}])  # missing name, s
+
+    def test_unknown_relation_rejected(self, triple_federation):
+        with pytest.raises(DataError):
+            triple_federation.database("s1").load("Z", [])
+
+    def test_site_routing(self, triple_federation):
+        assert triple_federation.database_for("A").site == "s1"
+        assert triple_federation.database_for("C").site == "s2"
+
+    def test_unknown_site(self, triple_federation):
+        with pytest.raises(DataError):
+            triple_federation.database("nope")
+
+
+class TestScan:
+    def test_scan_sorted_by_contribution(self, triple_federation):
+        rows = triple_federation.database_for("A").scan_sorted("A")
+        scores = [r["s"] for r in rows]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_scan_with_selection(self, triple_federation):
+        database = triple_federation.database_for("A")
+        rows = database.scan_sorted(
+            "A", [Selection("A", "name", "contains", "protein")]
+        )
+        assert len(rows) == 2
+
+    def test_scoreless_scan_order_stable(self, triple_federation):
+        rows = triple_federation.database_for("B").scan_sorted("B")
+        assert [r.tid for r in rows] == [0, 1, 2, 3]
+
+
+class TestProbe:
+    def test_probe_by_key(self, triple_federation):
+        rows = triple_federation.database_for("B").probe("B", "x", 2)
+        assert len(rows) == 2
+
+    def test_probe_missing_value(self, triple_federation):
+        assert triple_federation.database_for("B").probe("B", "x", 99) == []
+
+    def test_probe_unindexed_attr_rejected(self, triple_federation):
+        with pytest.raises(DataError):
+            triple_federation.database_for("A").probe("A", "name", "alpha")
+
+    def test_probe_results_sorted(self, triple_federation):
+        federation = load_triple_federation(rows_c=[
+            {"y": 10, "name": "one", "s": 0.1},
+            {"y": 10, "name": "two", "s": 0.9},
+        ])
+        rows = federation.database_for("C").probe("C", "y", 10)
+        assert [r["s"] for r in rows] == [0.9, 0.1]
+
+
+class TestStats:
+    def test_stats_fields(self, triple_federation):
+        stats = triple_federation.stats("B")
+        assert stats.cardinality == 4
+        assert stats.distinct_of("x") == 3
+        assert stats.max_contribution == 0.0
+
+    def test_score_max(self, triple_federation):
+        assert triple_federation.stats("A").max_contribution == 0.9
+
+    def test_distinct_of_unknown_attr_defaults(self, triple_federation):
+        stats = triple_federation.stats("A")
+        assert stats.distinct_of("name") >= 1
+
+
+class TestExecuteSPJ:
+    def test_single_site_join(self, triple_federation):
+        expr = SPJ(
+            [Atom("A", "A"), Atom("B", "B")],
+            [JoinPred.normalized("A", "x", "B", "x")],
+        )
+        results = triple_federation.execute_spj(expr)
+        assert len(results) == 4  # A1-B(1,10), A2-B(2,10), A2-B(2,20), A3-B(3,30)
+
+    def test_results_sorted_by_intrinsic(self, triple_federation):
+        expr = SPJ(
+            [Atom("A", "A"), Atom("B", "B")],
+            [JoinPred.normalized("A", "x", "B", "x")],
+        )
+        scores = [t.intrinsic for t in triple_federation.execute_spj(expr)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_selection_applied(self, triple_federation):
+        expr = SPJ(
+            [Atom("A", "A"), Atom("B", "B")],
+            [JoinPred.normalized("A", "x", "B", "x")],
+            [Selection("A", "name", "contains", "beta")],
+        )
+        results = triple_federation.execute_spj(expr)
+        assert len(results) == 2
+        assert all(t.value("A", "name") == "beta gene" for t in results)
+
+    def test_cross_site_rejected(self, triple_federation):
+        with pytest.raises(DataError):
+            triple_federation.execute_spj(abc_expr())
+
+    def test_disconnected_rejected(self, triple_federation):
+        expr = SPJ([Atom("A", "A"), Atom("B", "B")])
+        with pytest.raises(DataError):
+            triple_federation.database("s1").execute_spj(expr)
+
+    def test_site_of_expression(self, triple_federation):
+        expr = SPJ(
+            [Atom("A", "A"), Atom("B", "B")],
+            [JoinPred.normalized("A", "x", "B", "x")],
+        )
+        assert triple_federation.site_of_expression(expr) == "s1"
+        assert triple_federation.site_of_expression(abc_expr()) is None
+
+    def test_empty_join_result(self):
+        federation = load_triple_federation(rows_b=[{"x": 99, "y": 99}])
+        expr = SPJ(
+            [Atom("A", "A"), Atom("B", "B")],
+            [JoinPred.normalized("A", "x", "B", "x")],
+        )
+        assert federation.execute_spj(expr) == []
+
+    def test_single_atom_execute(self, triple_federation):
+        expr = SPJ([Atom("A", "A")])
+        results = triple_federation.execute_spj(expr)
+        assert len(results) == 3
+        assert results[0].intrinsic == 0.9
+
+    def test_validate_against_schema(self, triple_federation):
+        triple_federation.validate_against_schema()

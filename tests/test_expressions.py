@@ -1,0 +1,255 @@
+"""Tests for the SPJ expression layer, including canonicalization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import QueryError
+from repro.plan.expressions import (
+    SPJ,
+    Atom,
+    JoinPred,
+    Selection,
+    alias_isomorphism,
+    cross_subexpression_pairs,
+    make_chain,
+    union_of,
+)
+
+
+def chain3(a="a", b="b", c="c") -> SPJ:
+    return SPJ(
+        [Atom(a, "R"), Atom(b, "S"), Atom(c, "T")],
+        [JoinPred.normalized(a, "x", b, "x"),
+         JoinPred.normalized(b, "y", c, "y")],
+    )
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            SPJ([])
+
+    def test_duplicate_alias_rejected(self):
+        with pytest.raises(QueryError):
+            SPJ([Atom("a", "R"), Atom("a", "S")])
+
+    def test_join_unknown_alias_rejected(self):
+        with pytest.raises(QueryError):
+            SPJ([Atom("a", "R")],
+                [JoinPred.normalized("a", "x", "b", "x")])
+
+    def test_selection_unknown_alias_rejected(self):
+        with pytest.raises(QueryError):
+            SPJ([Atom("a", "R")], [], [Selection("b", "x", "eq", 1)])
+
+    def test_self_join_pred_rejected(self):
+        with pytest.raises(QueryError):
+            JoinPred.normalized("a", "x", "a", "y")
+
+    def test_bad_selection_op_rejected(self):
+        with pytest.raises(QueryError):
+            Selection("a", "x", "between", 1)
+
+    def test_join_pred_normalization(self):
+        p1 = JoinPred.normalized("b", "y", "a", "x")
+        p2 = JoinPred.normalized("a", "x", "b", "y")
+        assert p1 == p2
+
+    def test_value_equality_and_hash(self):
+        assert chain3() == chain3()
+        assert hash(chain3()) == hash(chain3())
+
+    def test_atoms_sorted(self):
+        expr = SPJ([Atom("z", "R"), Atom("a", "S")])
+        assert expr.aliases == ("a", "z")
+
+
+class TestSelections:
+    def test_eq_matches(self):
+        sel = Selection("a", "x", "eq", 5)
+        assert sel.matches({"x": 5})
+        assert not sel.matches({"x": 6})
+
+    def test_contains_matches(self):
+        sel = Selection("a", "name", "contains", "membrane")
+        assert sel.matches({"name": "plasma membrane protein"})
+        assert not sel.matches({"name": "protein"})
+
+    def test_ge_le(self):
+        assert Selection("a", "x", "ge", 3).matches({"x": 3})
+        assert not Selection("a", "x", "ge", 3).matches({"x": 2})
+        assert Selection("a", "x", "le", 3).matches({"x": 3})
+        assert not Selection("a", "x", "le", 3).matches({"x": 4})
+
+    def test_missing_attr_is_false(self):
+        assert not Selection("a", "q", "eq", 1).matches({"x": 1})
+
+
+class TestStructure:
+    def test_adjacency(self):
+        expr = chain3()
+        assert expr.adjacency["a"] == ("b",)
+        assert expr.adjacency["b"] == ("a", "c")
+
+    def test_connected(self):
+        assert chain3().is_connected()
+
+    def test_disconnected(self):
+        expr = SPJ([Atom("a", "R"), Atom("b", "S")])
+        assert not expr.is_connected()
+
+    def test_single_atom_connected(self):
+        assert SPJ([Atom("a", "R")]).is_connected()
+
+    def test_induced_keeps_internal_structure(self):
+        expr = chain3()
+        sub = expr.induced({"a", "b"})
+        assert sub.size == 2
+        assert len(sub.joins) == 1
+
+    def test_induced_drops_crossing_joins(self):
+        expr = chain3()
+        sub = expr.induced({"a", "c"})
+        assert len(sub.joins) == 0
+
+    def test_induced_unknown_alias_rejected(self):
+        with pytest.raises(QueryError):
+            chain3().induced({"nope"})
+
+    def test_connected_subexpressions_count_chain3(self):
+        # chain a-b-c: {a},{b},{c},{ab},{bc},{abc} = 6 connected subsets
+        subs = list(chain3().connected_subexpressions())
+        assert len(subs) == 6
+
+    def test_connected_subexpressions_sizes_ascending(self):
+        sizes = [s.size for s in chain3().connected_subexpressions()]
+        assert sizes == sorted(sizes)
+
+    def test_connected_subexpressions_max_size(self):
+        subs = list(chain3().connected_subexpressions(max_size=2))
+        assert all(s.size <= 2 for s in subs)
+        assert len(subs) == 5
+
+    def test_min_size_filter(self):
+        subs = list(chain3().connected_subexpressions(min_size=3))
+        assert len(subs) == 1
+        assert subs[0] == chain3()
+
+    def test_overlaps(self):
+        expr = chain3()
+        assert expr.induced({"a", "b"}).overlaps(expr.induced({"b", "c"}))
+        assert not expr.induced({"a"}).overlaps(expr.induced({"c"}))
+
+    def test_contains_aliases(self):
+        expr = chain3()
+        assert expr.contains_aliases(expr.induced({"a", "b"}))
+        foreign = SPJ([Atom("a", "R"), Atom("b", "S")])  # no join
+        assert not expr.contains_aliases(foreign)
+
+    def test_describe_marks_selections(self):
+        expr = SPJ([Atom("a", "R")], [],
+                   [Selection("a", "name", "contains", "x")])
+        assert expr.describe() == "s(R)"
+
+
+class TestCanonicalization:
+    def test_renamed_equivalent(self):
+        assert chain3("a", "b", "c").canonical_key \
+            == chain3("p", "q", "r").canonical_key
+
+    def test_different_relations_differ(self):
+        other = SPJ(
+            [Atom("a", "R"), Atom("b", "S"), Atom("c", "U")],
+            [JoinPred.normalized("a", "x", "b", "x"),
+             JoinPred.normalized("b", "y", "c", "y")],
+        )
+        assert other.canonical_key != chain3().canonical_key
+
+    def test_different_attrs_differ(self):
+        other = SPJ(
+            [Atom("a", "R"), Atom("b", "S"), Atom("c", "T")],
+            [JoinPred.normalized("a", "x", "b", "x"),
+             JoinPred.normalized("b", "z", "c", "y")],
+        )
+        assert other.canonical_key != chain3().canonical_key
+
+    def test_selection_values_distinguish(self):
+        e1 = SPJ([Atom("a", "R")], [], [Selection("a", "n", "eq", 1)])
+        e2 = SPJ([Atom("a", "R")], [], [Selection("a", "n", "eq", 2)])
+        assert e1.canonical_key != e2.canonical_key
+
+    def test_is_equivalent(self):
+        assert chain3().is_equivalent(chain3("x", "y", "z"))
+
+    def test_is_subexpression_of(self):
+        expr = chain3()
+        fragment = SPJ(
+            [Atom("p", "R"), Atom("q", "S")],
+            [JoinPred.normalized("p", "x", "q", "x")],
+        )
+        assert fragment.is_subexpression_of(expr)
+
+    def test_is_not_subexpression_when_disconnected_pair(self):
+        expr = chain3()
+        fragment = SPJ([Atom("p", "R"), Atom("q", "T")])  # no join
+        assert not fragment.is_subexpression_of(expr)
+
+    def test_alias_isomorphism_roundtrip(self):
+        left = chain3("a", "b", "c")
+        right = chain3("p", "q", "r")
+        mapping = alias_isomorphism(left, right)
+        assert mapping == {"a": "p", "b": "q", "c": "r"}
+
+    def test_alias_isomorphism_rejects_nonequivalent(self):
+        with pytest.raises(QueryError):
+            alias_isomorphism(chain3(), SPJ([Atom("a", "R")]))
+
+    def test_symmetric_star_canonicalizes(self):
+        # hub H joined to two structurally identical spokes
+        star = SPJ(
+            [Atom("h", "H"), Atom("s1", "S"), Atom("s2", "S")],
+            [JoinPred.normalized("h", "x", "s1", "x"),
+             JoinPred.normalized("h", "x", "s2", "x")],
+        )
+        renamed = SPJ(
+            [Atom("h", "H"), Atom("u", "S"), Atom("v", "S")],
+            [JoinPred.normalized("h", "x", "u", "x"),
+             JoinPred.normalized("h", "x", "v", "x")],
+        )
+        assert star.canonical_key == renamed.canonical_key
+
+    @given(st.permutations(["a", "b", "c"]))
+    @settings(max_examples=6, deadline=None)
+    def test_canonical_key_invariant_under_renaming(self, names):
+        a, b, c = names
+        assert chain3(a, b, c).canonical_key == chain3().canonical_key
+
+
+class TestHelpers:
+    def test_make_chain(self):
+        expr = make_chain([
+            ("R", "r", "", ""),
+            ("S", "s", "x", "x"),
+            ("T", "t", "y", "y"),
+        ])
+        assert expr.size == 3
+        assert len(expr.joins) == 2
+        assert expr.is_connected()
+
+    def test_union_of(self):
+        left = SPJ([Atom("a", "R")])
+        right = SPJ([Atom("b", "S")])
+        bridged = union_of(
+            [left, right], [JoinPred.normalized("a", "x", "b", "x")]
+        )
+        assert bridged.is_connected()
+
+    def test_cross_subexpression_pairs_finds_shared_fragment(self):
+        left = chain3("a", "b", "c")
+        right = chain3("p", "q", "r")
+        pairs = list(cross_subexpression_pairs(left, right))
+        # every connected fragment of the chain is shared: 6 pairs
+        assert len(pairs) == 6
+        for mine, theirs in pairs:
+            assert mine.canonical_key == theirs.canonical_key

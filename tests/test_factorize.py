@@ -1,0 +1,150 @@
+"""Tests for the Section 5.2 plan-graph factorization."""
+
+import pytest
+
+from repro.common.config import ExecutionConfig
+from repro.optimizer.bestplan import BestPlanSearch
+from repro.optimizer.candidates import enumerate_candidates, streamable_aliases
+from repro.optimizer.cost import CostModel
+from repro.optimizer.factorize import factorize
+from repro.plan.expressions import Selection
+
+from tests.conftest import abc_expr, load_triple_federation, make_cq
+
+
+@pytest.fixture()
+def fed():
+    return load_triple_federation()
+
+
+@pytest.fixture()
+def config():
+    return ExecutionConfig(k=5, tau_probe_threshold=2, seed=1)
+
+
+def plan_for(fed, config, cqs, sharing=True, scope="g"):
+    cost = CostModel(fed, config)
+    candidates = enumerate_candidates(cqs, fed, cost, config,
+                                      sharing=sharing)
+    streamable = {
+        cq.cq_id: streamable_aliases(cq, fed, config) for cq in cqs
+    }
+    result = BestPlanSearch(
+        cqs=cqs, candidates=candidates, cost_model=cost, config=config,
+        streamable=streamable, probes={},
+    ).run()
+    return factorize(result, cqs, cost, scope, sharing=sharing)
+
+
+def full_cq(fed, cq_id="cq0", uq_id="uq0", selections=()):
+    return make_cq(abc_expr(tuple(selections)), fed, cq_id, uq_id)
+
+
+class TestSingleQuery:
+    def test_final_covers_whole_query(self, fed, config):
+        cq = full_cq(fed)
+        plan = plan_for(fed, config, [cq])
+        final_id = plan.cq_final["cq0"]
+        assert final_id in plan.components
+        assert set(plan.components[final_id].expr.aliases) \
+            == {"A", "B", "C"}
+
+    def test_probe_atom_absorbed(self, fed, config):
+        cq = full_cq(fed)
+        plan = plan_for(fed, config, [cq])
+        final = plan.components[plan.cq_final["cq0"]]
+        assert "B" in final.probe_atoms
+
+    def test_sources_registered(self, fed, config):
+        cq = full_cq(fed)
+        plan = plan_for(fed, config, [cq])
+        exprs = {spec.expr.relations for spec in plan.sources.values()}
+        assert ("A",) in exprs or ("A", "B") in exprs
+
+    def test_single_atom_query_maps_to_source(self, fed, config):
+        cq = make_cq(abc_expr().induced({"A"}), fed, "solo")
+        plan = plan_for(fed, config, [cq])
+        final = plan.cq_final["solo"]
+        assert final in plan.sources
+
+
+class TestSharing:
+    def test_identical_queries_share_final_component(self, fed, config):
+        cq1, cq2 = full_cq(fed, "cq1"), full_cq(fed, "cq2")
+        plan = plan_for(fed, config, [cq1, cq2])
+        assert plan.cq_final["cq1"] == plan.cq_final["cq2"]
+        final = plan.components[plan.cq_final["cq1"]]
+        assert final.cqs == {"cq1", "cq2"}
+
+    def test_subexpression_query_shares_prefix(self, fed, config):
+        whole = full_cq(fed, "whole")
+        sub = make_cq(abc_expr().induced({"A", "B"}), fed, "sub")
+        plan = plan_for(fed, config, [whole, sub])
+        sub_final = plan.cq_final["sub"]
+        whole_final = plan.cq_final["whole"]
+        assert sub_final != whole_final
+        # the whole query's component tree must reference the shared
+        # node (either directly or through a source both consume)
+        whole_children = set(
+            plan.components[whole_final].stream_children
+        )
+        shared = sub_final in whole_children or bool(
+            set(plan.cq_stream_sources["sub"])
+            & set(plan.cq_stream_sources["whole"])
+        )
+        assert shared
+
+    def test_split_degree_marks_shared_nodes(self, fed, config):
+        whole = full_cq(fed, "whole")
+        sub = make_cq(abc_expr().induced({"A", "B"}), fed, "sub")
+        plan = plan_for(fed, config, [whole, sub])
+        fanout = plan.split_degree()
+        assert any(count >= 2 for count in fanout.values())
+
+    def test_different_selections_not_shared(self, fed, config):
+        sel = Selection("A", "name", "contains", "beta")
+        cq1 = full_cq(fed, "cq1", selections=[sel])
+        cq2 = full_cq(fed, "cq2")
+        plan = plan_for(fed, config, [cq1, cq2])
+        assert plan.cq_final["cq1"] != plan.cq_final["cq2"]
+
+
+class TestNoSharing:
+    def test_private_components_per_query(self, fed, config):
+        cq1, cq2 = full_cq(fed, "cq1"), full_cq(fed, "cq2")
+        plan = plan_for(fed, config, [cq1, cq2], sharing=False)
+        assert plan.cq_final["cq1"] != plan.cq_final["cq2"]
+        f1 = plan.components[plan.cq_final["cq1"]]
+        f2 = plan.components[plan.cq_final["cq2"]]
+        assert f1.cqs == {"cq1"}
+        assert f2.cqs == {"cq2"}
+
+    def test_private_sources_per_query(self, fed, config):
+        cq1, cq2 = full_cq(fed, "cq1"), full_cq(fed, "cq2")
+        plan = plan_for(fed, config, [cq1, cq2], sharing=False)
+        assert not (set(plan.cq_stream_sources["cq1"])
+                    & set(plan.cq_stream_sources["cq2"]))
+
+
+class TestStructure:
+    def test_children_reference_known_nodes(self, fed, config):
+        cqs = [full_cq(fed, f"cq{i}") for i in range(2)]
+        sub = make_cq(abc_expr().induced({"A", "B"}), fed, "sub")
+        plan = plan_for(fed, config, cqs + [sub])
+        known = plan.node_ids()
+        for comp in plan.components.values():
+            for child in comp.stream_children:
+                assert child in known
+
+    def test_components_flattened_not_stacked(self, fed, config):
+        # A single query's plan should be one m-join over its inputs,
+        # not a tower of binary joins.
+        cq = full_cq(fed)
+        plan = plan_for(fed, config, [cq])
+        assert len(plan.components) == 1
+
+    def test_scope_in_ids(self, fed, config):
+        cq = full_cq(fed)
+        plan = plan_for(fed, config, [cq], scope="myscope")
+        for comp_id in plan.components:
+            assert ":myscope:" in comp_id

@@ -1,0 +1,170 @@
+"""Tests for the synthetic data generators (GUS-like, biodb, generic)."""
+
+import pytest
+
+from repro.data.biodb import BioDBConfig, biodb_federation, biodb_schema
+from repro.data.database import Federation
+from repro.data.generator import (
+    BIO_VOCABULARY,
+    SyntheticDataGenerator,
+    compute_key_domains,
+)
+from repro.data.gus import GUSConfig, count_relations, gus_federation, gus_schema
+from repro.data.inverted import InvertedIndex
+
+
+class TestKeyDomains:
+    def test_joined_attrs_share_domain(self):
+        schema = gus_schema(GUSConfig.tiny())
+        cards = {name: 100 for name in schema.relation_names}
+        domains = compute_key_domains(schema, cards, domain_factor=0.5)
+        for edge in schema.edges:
+            left = domains[(edge.left_relation, edge.left_attr)]
+            right = domains[(edge.right_relation, edge.right_attr)]
+            assert left == right
+
+    def test_domain_scales_with_cardinality(self):
+        schema = gus_schema(GUSConfig.tiny())
+        small = compute_key_domains(
+            schema, {n: 50 for n in schema.relation_names}, 0.5)
+        large = compute_key_domains(
+            schema, {n: 5000 for n in schema.relation_names}, 0.5)
+        assert max(large.values()) > max(small.values())
+
+
+class TestSyntheticDataGenerator:
+    def test_populate_counts(self):
+        schema = gus_schema(GUSConfig.tiny())
+        federation = Federation(schema)
+        generator = SyntheticDataGenerator(schema, seed=3)
+        cards = {name: 40 for name in schema.relation_names}
+        loaded = generator.populate(federation, cards)
+        assert loaded == cards
+        for name in schema.relation_names:
+            assert federation.cardinality(name) == 40
+
+    def test_deterministic_across_builds(self):
+        schema = gus_schema(GUSConfig.tiny())
+        rows = []
+        for _ in range(2):
+            federation = Federation(schema)
+            SyntheticDataGenerator(schema, seed=3).populate(
+                federation, {schema.relation_names[0]: 10})
+            database = federation.database_for(schema.relation_names[0])
+            rows.append([
+                dict(r.values)
+                for r in database.scan_sorted(schema.relation_names[0])
+            ])
+        assert rows[0] == rows[1]
+
+    def test_scores_in_unit_interval(self):
+        federation = gus_federation(GUSConfig.tiny())
+        for relation in federation.schema.relations:
+            database = federation.database_for(relation.name)
+            for attr in relation.score_attributes:
+                for row in database.scan_sorted(relation.name)[:20]:
+                    assert 0.0 <= row[attr] <= 1.0
+
+    def test_text_uses_vocabulary(self):
+        federation = gus_federation(GUSConfig.tiny())
+        relation = federation.schema.relation("Hub00")
+        database = federation.database_for("Hub00")
+        for row in database.scan_sorted("Hub00")[:20]:
+            for word in str(row["name"]).split():
+                assert word in BIO_VOCABULARY
+
+    def test_joins_produce_matches(self):
+        federation = gus_federation(GUSConfig.tiny())
+        schema = federation.schema
+        edge = schema.edges[0]
+        left_db = federation.database_for(edge.left_relation)
+        right_db = federation.database_for(edge.right_relation)
+        left_values = {
+            r[edge.left_attr]
+            for r in left_db.scan_sorted(edge.left_relation)
+        }
+        right_values = {
+            r[edge.right_attr]
+            for r in right_db.scan_sorted(edge.right_relation)
+        }
+        assert left_values & right_values  # joins are non-empty
+
+
+class TestGUS:
+    def test_count_relations_formula(self):
+        config = GUSConfig.tiny()
+        assert count_relations(config) == len(gus_schema(config).relations)
+
+    def test_full_scale_paper_sized(self):
+        config = GUSConfig.full()
+        assert 340 <= count_relations(config) <= 380
+
+    def test_all_hubs_connected(self):
+        schema = gus_schema(GUSConfig.tiny())
+        hubs = [n for n in schema.relation_names if n.startswith("Hub")]
+        assert schema.is_connected(hubs + [
+            n for n in schema.relation_names if n.startswith("Lnk")
+        ])
+
+    def test_satellites_scoreless(self):
+        schema = gus_schema(GUSConfig.tiny())
+        for relation in schema.relations:
+            if relation.name.startswith("Sat"):
+                assert not relation.has_score
+
+    def test_links_scored(self):
+        schema = gus_schema(GUSConfig.tiny())
+        for relation in schema.relations:
+            if relation.name.startswith(("Lnk", "Syn")):
+                assert relation.has_score
+
+    def test_sites_assigned(self):
+        schema = gus_schema(GUSConfig.tiny())
+        assert len(schema.sites()) == GUSConfig.tiny().n_sites
+
+    def test_instances_differ(self):
+        f0 = gus_federation(GUSConfig.tiny(), instance=0)
+        f1 = gus_federation(GUSConfig.tiny(), instance=1)
+        name = f0.schema.relation_names[0]
+        assert f0.cardinality(name) != f1.cardinality(name) or \
+            [r.values for r in
+             f0.database_for(name).scan_sorted(name)[:5]] != \
+            [r.values for r in
+             f1.database_for(name).scan_sorted(name)[:5]]
+
+    def test_keyword_search_possible(self):
+        federation = gus_federation(GUSConfig.tiny())
+        index = InvertedIndex(federation)
+        assert index.matches("protein")
+
+
+class TestBioDB:
+    def test_schema_shape(self):
+        schema = biodb_schema()
+        assert len(schema.relations) == 7
+        assert set(schema.sites()) == {"pfam", "interpro"}
+
+    def test_cross_site_mapping_table(self):
+        schema = biodb_schema()
+        mapping = schema.relation("Pfam2InterPro")
+        assert mapping.site == "interpro"
+        assert schema.edges_between("PfamFamily", "Pfam2InterPro")
+
+    def test_population(self):
+        config = BioDBConfig.tiny()
+        federation = biodb_federation(config)
+        assert federation.cardinality("PfamFamily") == config.n_families
+        assert federation.cardinality("PfamSeq") == config.n_sequences
+
+    def test_pfamlit_probe_only(self):
+        schema = biodb_schema()
+        assert not schema.relation("PfamLit").has_score
+
+    def test_publication_recency_scored(self):
+        schema = biodb_schema()
+        assert "recency" in schema.relation("Publication").score_attributes
+
+    def test_larger_than_gus_tables(self):
+        biodb = BioDBConfig()
+        gus = GUSConfig()
+        assert biodb.n_sequences > gus.max_rows

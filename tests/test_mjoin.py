@@ -1,0 +1,333 @@
+"""Tests for the adaptive m-join node: correctness of the symmetric
+hash join, bounded release order, corner-bound validity, probing, and
+state seeding (the Algorithm 2 recovery join)."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.common.config import DelayModel
+from repro.common.errors import ExecutionError
+from repro.common.rng import make_rng
+from repro.data.rows import Row, STuple
+from repro.data.sources import ListSource, RandomAccessSource
+from repro.operators.nodes import InputUnit, MJoinNode, ProbeTarget
+from repro.plan.expressions import SPJ, Atom, JoinPred
+from repro.stats.metrics import Metrics
+
+from tests.conftest import load_triple_federation
+
+DELAYS = DelayModel(deterministic=True)
+
+
+def stuples(alias, relation, rows):
+    """rows: list of (tid, values, score), sorted desc by score."""
+    return [
+        STuple.single(alias, Row(relation, tid, values), score)
+        for tid, values, score in rows
+    ]
+
+
+def make_unit(name, alias, relation, rows, clock, metrics):
+    expr = SPJ([Atom(alias, relation)])
+    source = ListSource(name, stuples(alias, relation, rows))
+    return InputUnit(name, expr, source, clock, metrics, DELAYS)
+
+
+class Collector:
+    """A consumer that records everything a supplier releases."""
+
+    def __init__(self):
+        self.received = []
+
+    def on_arrival(self, supplier, tup):
+        self.received.append(tup)
+
+
+def two_way_setup(rows_a, rows_b):
+    clock = VirtualClock()
+    metrics = Metrics()
+    unit_a = make_unit("uA", "A", "A", rows_a, clock, metrics)
+    unit_b = make_unit("uB", "B", "B", rows_b, clock, metrics)
+    expr = SPJ(
+        [Atom("A", "A"), Atom("B", "B")],
+        [JoinPred.normalized("A", "x", "B", "x")],
+    )
+    epoch = itertools.count(1)
+    node = MJoinNode(
+        "join", expr, [unit_a, unit_b], [],
+        caps={"A": 1.0, "B": 1.0},
+        clock=clock, metrics=metrics, delays=DELAYS,
+        epoch_of=lambda: 1,
+    )
+    unit_a.consumers.append(node)
+    unit_b.consumers.append(node)
+    sink = Collector()
+    node.consumers.append(sink)
+    return unit_a, unit_b, node, sink
+
+
+ROWS_A = [(1, {"x": 1}, 0.9), (2, {"x": 2}, 0.6), (3, {"x": 1}, 0.2)]
+ROWS_B = [(1, {"x": 1}, 0.8), (2, {"x": 2}, 0.5), (3, {"x": 9}, 0.1)]
+
+
+def drain(units, node):
+    """Read everything round-robin and release until fixpoint."""
+    progressed = True
+    while progressed:
+        progressed = False
+        for unit in units:
+            if unit.read_and_route(1) is not None:
+                progressed = True
+            while node.release_ready():
+                progressed = True
+    while node.release_ready():
+        pass
+
+
+class TestJoinCorrectness:
+    def test_matches_nested_loop(self):
+        unit_a, unit_b, node, sink = two_way_setup(ROWS_A, ROWS_B)
+        drain([unit_a, unit_b], node)
+        expected = set()
+        for ta, tb in itertools.product(
+                stuples("A", "A", ROWS_A), stuples("B", "B", ROWS_B)):
+            if ta.value("A", "x") == tb.value("B", "x"):
+                expected.add(ta.merge(tb))
+        assert set(sink.received) == expected
+        assert len(sink.received) == len(expected)  # no duplicates
+
+    def test_release_order_nonincreasing(self):
+        unit_a, unit_b, node, sink = two_way_setup(ROWS_A, ROWS_B)
+        drain([unit_a, unit_b], node)
+        scores = [t.intrinsic for t in sink.received]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_released_only_when_no_future_beats(self):
+        unit_a, unit_b, node, sink = two_way_setup(ROWS_A, ROWS_B)
+        # Read only the top tuple of each: result (A1,B1) score 1.7.
+        unit_a.read_and_route(1)
+        unit_b.read_and_route(1)
+        node.release_ready()
+        # corner bound: next A (0.6) + capB (1.0) = 1.6 < 1.7 -> released
+        assert [t.intrinsic for t in sink.received] == [pytest.approx(1.7)]
+
+    def test_buffered_while_future_could_beat(self):
+        rows_a = [(1, {"x": 1}, 0.9), (2, {"x": 2}, 0.85)]
+        rows_b = [(1, {"x": 1}, 0.2)]
+        unit_a, unit_b, node, sink = two_way_setup(rows_a, rows_b)
+        unit_a.read_and_route(1)
+        unit_b.read_and_route(1)
+        node.release_ready()
+        # (A1,B1)=1.1 but unread A2 could join a future B at cap 1.0
+        # -> corner = 0.85 + 1.0 = 1.85 > 1.1: must stay buffered.
+        assert sink.received == []
+        assert node.buffered == 1
+
+    def test_exhaustion_releases_everything(self):
+        unit_a, unit_b, node, sink = two_way_setup(ROWS_A, ROWS_B)
+        drain([unit_a, unit_b], node)
+        assert node.buffered == 0
+        assert node.bound() == -math.inf
+        assert node.exhausted
+
+    def test_bound_reflects_buffer_top(self):
+        rows_a = [(1, {"x": 1}, 0.9), (2, {"x": 2}, 0.85)]
+        rows_b = [(1, {"x": 1}, 0.2)]
+        unit_a, unit_b, node, _sink = two_way_setup(rows_a, rows_b)
+        unit_a.read_and_route(1)
+        unit_b.read_and_route(1)
+        assert node.bound() >= 1.1
+
+    def test_preferred_supplier_attains_corner(self):
+        unit_a, unit_b, node, _sink = two_way_setup(ROWS_A, ROWS_B)
+        # bounds: A 0.9, B 0.8, caps 1.0 each: A-side corner 1.9 wins.
+        assert node.preferred_supplier() is unit_a
+
+    def test_preferred_supplier_skips_exhausted(self):
+        unit_a, unit_b, node, _sink = two_way_setup(ROWS_A, ROWS_B)
+        while unit_a.read_and_route(1):
+            pass
+        assert node.preferred_supplier() is unit_b
+
+
+class TestValidation:
+    def test_overlapping_suppliers_rejected(self):
+        clock, metrics = VirtualClock(), Metrics()
+        unit1 = make_unit("u1", "A", "A", ROWS_A, clock, metrics)
+        unit2 = make_unit("u2", "A", "A", ROWS_A, clock, metrics)
+        expr = SPJ([Atom("A", "A")])
+        with pytest.raises(ExecutionError):
+            MJoinNode("bad", expr, [unit1, unit2], [], {"A": 1.0},
+                      clock, metrics, DELAYS, lambda: 1)
+
+    def test_uncovered_alias_rejected(self):
+        clock, metrics = VirtualClock(), Metrics()
+        unit = make_unit("u1", "A", "A", ROWS_A, clock, metrics)
+        expr = SPJ(
+            [Atom("A", "A"), Atom("B", "B")],
+            [JoinPred.normalized("A", "x", "B", "x")],
+        )
+        with pytest.raises(ExecutionError):
+            MJoinNode("bad", expr, [unit], [], {"A": 1.0, "B": 1.0},
+                      clock, metrics, DELAYS, lambda: 1)
+
+    def test_disconnected_target_rejected(self):
+        clock, metrics = VirtualClock(), Metrics()
+        unit_a = make_unit("uA", "A", "A", ROWS_A, clock, metrics)
+        unit_b = make_unit("uB", "B", "B", ROWS_B, clock, metrics)
+        expr = SPJ([Atom("A", "A"), Atom("B", "B")])  # no join pred
+        with pytest.raises(ExecutionError):
+            MJoinNode("bad", expr, [unit_a, unit_b], [],
+                      {"A": 1.0, "B": 1.0}, clock, metrics, DELAYS,
+                      lambda: 1)
+
+
+class TestProbeTargets:
+    def make_three_way(self, federation):
+        """A |X| B |X| C with B probed remotely."""
+        clock = VirtualClock()
+        metrics = Metrics()
+        db1 = federation.database("s1")
+        rows_a = [
+            (r.tid, dict(r.values), db1.contribution("A", r.tid))
+            for r in db1.scan_sorted("A")
+        ]
+        db2 = federation.database("s2")
+        rows_c = [
+            (r.tid, dict(r.values), db2.contribution("C", r.tid))
+            for r in db2.scan_sorted("C")
+        ]
+        unit_a = make_unit("uA", "A", "A", rows_a, clock, metrics)
+        unit_c = make_unit("uC", "C", "C", rows_c, clock, metrics)
+        ra = RandomAccessSource("raB", "B", db1, clock, metrics, DELAYS,
+                                make_rng(0, "ra"))
+        target = ProbeTarget("tB", frozenset({"B"}), "random",
+                             ra_source=ra, ra_alias="B")
+        expr = SPJ(
+            [Atom("A", "A"), Atom("B", "B"), Atom("C", "C")],
+            [JoinPred.normalized("A", "x", "B", "x"),
+             JoinPred.normalized("B", "y", "C", "y")],
+        )
+        node = MJoinNode(
+            "abc", expr, [unit_a, unit_c], [target],
+            caps={"A": 0.9, "B": 0.0, "C": 0.8},
+            clock=clock, metrics=metrics, delays=DELAYS,
+            epoch_of=lambda: 1,
+        )
+        unit_a.consumers.append(node)
+        unit_c.consumers.append(node)
+        sink = Collector()
+        node.consumers.append(sink)
+        return unit_a, unit_c, node, sink, metrics
+
+    def test_three_way_with_probe_matches_reference(self, triple_federation):
+        from repro.reference import evaluate_spj
+
+        unit_a, unit_c, node, sink, _m = self.make_three_way(
+            triple_federation)
+        drain([unit_a, unit_c], node)
+        expected = set(evaluate_spj(triple_federation, node.expr))
+        assert set(sink.received) == expected
+        assert len(sink.received) == len(expected)
+
+    def test_probe_metrics_recorded(self, triple_federation):
+        unit_a, unit_c, node, _sink, metrics = self.make_three_way(
+            triple_federation)
+        drain([unit_a, unit_c], node)
+        assert metrics.probes_performed > 0
+        assert metrics.join_probes > 0
+
+    def test_three_way_release_sorted(self, triple_federation):
+        unit_a, unit_c, node, sink, _m = self.make_three_way(
+            triple_federation)
+        drain([unit_a, unit_c], node)
+        scores = [t.intrinsic for t in sink.received]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestSeeding:
+    def test_seed_reproduces_existing_joins(self):
+        unit_a, unit_b, node, sink = two_way_setup(ROWS_A, ROWS_B)
+        drain([unit_a, unit_b], node)
+        # A second node over the same (now fully read) units: seeding
+        # must reproduce every result without any reads.
+        clock, metrics = node.clock, Metrics()
+        node2 = MJoinNode(
+            "join2", node.expr, [unit_a, unit_b], [],
+            caps={"A": 1.0, "B": 1.0},
+            clock=clock, metrics=metrics, delays=DELAYS,
+            epoch_of=lambda: 2,
+        )
+        seeded = node2.seed_from_suppliers()
+        assert seeded == len(sink.received)
+        assert set(node2.module.replay_list()) == set(sink.received)
+
+    def test_seed_results_sorted(self):
+        unit_a, unit_b, node, _sink = two_way_setup(ROWS_A, ROWS_B)
+        drain([unit_a, unit_b], node)
+        node2 = MJoinNode(
+            "join2", node.expr, [unit_a, unit_b], [],
+            caps={"A": 1.0, "B": 1.0},
+            clock=node.clock, metrics=Metrics(), delays=DELAYS,
+            epoch_of=lambda: 2,
+        )
+        node2.seed_from_suppliers()
+        scores = [t.intrinsic for t in node2.module.replay_list()]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_seed_empty_supplier_produces_nothing(self):
+        unit_a, unit_b, node, _sink = two_way_setup(ROWS_A, ROWS_B)
+        unit_a.read_and_route(1)  # only A has stored tuples
+        node2 = MJoinNode(
+            "join2", node.expr, [unit_a, unit_b], [],
+            caps={"A": 1.0, "B": 1.0},
+            clock=node.clock, metrics=Metrics(), delays=DELAYS,
+            epoch_of=lambda: 2,
+        )
+        assert node2.seed_from_suppliers() == 0
+
+    def test_partial_seed_then_live_no_duplicates(self):
+        unit_a, unit_b, node, sink = two_way_setup(ROWS_A, ROWS_B)
+        # Read a prefix, then create a second consumer node that seeds,
+        # then finish the streams: combined output must equal the full
+        # join exactly once.
+        unit_a.read_and_route(1)
+        unit_b.read_and_route(1)
+        node.release_ready()
+        node2 = MJoinNode(
+            "join2", node.expr, [unit_a, unit_b], [],
+            caps={"A": 1.0, "B": 1.0},
+            clock=node.clock, metrics=Metrics(), delays=DELAYS,
+            epoch_of=lambda: 2,
+        )
+        node2.seed_from_suppliers()
+        sink2 = Collector()
+        node2.consumers.append(sink2)
+        unit_a.consumers.append(node2)
+        unit_b.consumers.append(node2)
+        progressed = True
+        while progressed:
+            progressed = False
+            for unit in (unit_a, unit_b):
+                if unit.read_and_route(2) is not None:
+                    progressed = True
+            while node2.release_ready() or node.release_ready():
+                progressed = True
+        total = set(node2.module.replay_list())
+        expected = set()
+        for ta, tb in itertools.product(
+                stuples("A", "A", ROWS_A), stuples("B", "B", ROWS_B)):
+            if ta.value("A", "x") == tb.value("B", "x"):
+                expected.add(ta.merge(tb))
+        assert total == expected
+        assert len(node2.module.replay_list()) == len(expected)
+
+    def test_clear_state(self):
+        unit_a, unit_b, node, _sink = two_way_setup(ROWS_A, ROWS_B)
+        drain([unit_a, unit_b], node)
+        freed = node.clear_state()
+        assert freed > 0
+        assert node.module.size == 0

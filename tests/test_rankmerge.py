@@ -1,0 +1,250 @@
+"""Tests for the rank-merge operator: TA-style emission, lazy
+activation decisions, pruning, and finalization."""
+
+import math
+
+import pytest
+
+from repro.data.rows import Row, STuple
+from repro.data.sources import ListSource
+from repro.keyword.queries import ConjunctiveQuery, UserQuery
+from repro.operators.rankmerge import RankMerge
+from repro.plan.expressions import SPJ, Atom
+from repro.scoring.base import MonotoneScore
+
+
+class FakeSupplier:
+    """A supplier with a scripted stream, driven manually."""
+
+    def __init__(self, name, scores, cap=1.0):
+        self.name = name
+        self.expr = SPJ([Atom("R", "R")])
+        self.consumers = []
+        self.module = None
+        self._tuples = [
+            STuple.single("R", Row("R", i, {"x": i}), s)
+            for i, s in enumerate(scores)
+        ]
+        self._pos = 0
+
+    def bound(self):
+        if self._pos >= len(self._tuples):
+            return -math.inf
+        return self._tuples[self._pos].intrinsic
+
+    def push_next(self):
+        tup = self._tuples[self._pos]
+        self._pos += 1
+        for consumer in self.consumers:
+            consumer.on_arrival(self, tup)
+        return tup
+
+
+def make_cq(cq_id, uq_id="U", cap=1.0, static=0.0):
+    expr = SPJ([Atom("R", "R")])
+    score = MonotoneScore({"R": 1.0}, static, "identity", {"R": cap})
+    return ConjunctiveQuery(cq_id, uq_id, expr, score)
+
+
+def make_uq(cqs, k=3):
+    return UserQuery("U", ("kw",), list(cqs), k=k)
+
+
+class TestEmission:
+    def test_emits_when_above_all_thresholds(self):
+        cq = make_cq("c1")
+        rm = RankMerge(make_uq([cq], k=2))
+        supplier = FakeSupplier("s1", [0.9, 0.5, 0.1])
+        rm.register_stream(cq, supplier)
+        supplier.push_next()  # 0.9 arrives; threshold now 0.5
+        emitted = rm.try_emit()
+        assert [a.score for a in emitted] == [pytest.approx(0.9)]
+
+    def test_holds_until_threshold_drops(self):
+        cq1, cq2 = make_cq("c1"), make_cq("c2")
+        rm = RankMerge(make_uq([cq1, cq2], k=2))
+        s1 = FakeSupplier("s1", [0.6, 0.2])
+        s2 = FakeSupplier("s2", [0.8, 0.7])
+        rm.register_stream(cq1, s1)
+        rm.register_stream(cq2, s2)
+        s1.push_next()  # 0.6, but s2 could still deliver 0.8
+        assert rm.try_emit() == []
+        s2.push_next()  # 0.8 arrives; s2 threshold now 0.7
+        emitted = rm.try_emit()
+        assert [a.score for a in emitted] == [pytest.approx(0.8)]
+
+    def test_completes_at_k(self):
+        cq = make_cq("c1")
+        rm = RankMerge(make_uq([cq], k=2))
+        supplier = FakeSupplier("s1", [0.9, 0.8, 0.7])
+        rm.register_stream(cq, supplier)
+        supplier.push_next()
+        supplier.push_next()
+        supplier.push_next()
+        rm.try_emit()
+        assert rm.complete
+        assert len(rm.emitted) == 2
+
+    def test_duplicate_provenance_ignored(self):
+        cq = make_cq("c1")
+        rm = RankMerge(make_uq([cq], k=3))
+        supplier = FakeSupplier("s1", [0.9])
+        entry = rm.register_stream(cq, supplier)
+        tup = supplier.push_next()
+        rm.ingest(entry, tup)  # same tuple again
+        rm.try_emit()
+        assert len(rm.emitted) == 1
+
+    def test_same_provenance_different_cq_allowed(self):
+        cq1, cq2 = make_cq("c1"), make_cq("c2")
+        rm = RankMerge(make_uq([cq1, cq2], k=3))
+        s1 = FakeSupplier("s1", [0.9])
+        s2 = FakeSupplier("s2", [0.9])
+        e1 = rm.register_stream(cq1, s1)
+        e2 = rm.register_stream(cq2, s2)
+        tup = s1.push_next()
+        rm.ingest(e2, tup)
+        s2._pos = 1  # exhaust s2 manually
+        rm.try_emit()
+        assert len(rm.emitted) == 2
+
+
+class TestActivation:
+    def test_initially_should_activate(self):
+        cq = make_cq("c1")
+        rm = RankMerge(make_uq([cq], k=2))
+        assert rm.should_activate()
+
+    def test_no_activation_when_active_covers(self):
+        cq1 = make_cq("c1", cap=1.0)
+        cq2 = make_cq("c2", cap=0.5)
+        rm = RankMerge(make_uq([cq1, cq2], k=2))
+        supplier = FakeSupplier("s1", [0.9, 0.8])
+        rm.register_stream(cq1, supplier)
+        # active threshold 0.9 >= pending bound 0.5: no activation yet
+        assert not rm.should_activate()
+
+    def test_activation_when_pending_blocks(self):
+        cq1 = make_cq("c1", cap=1.0)
+        cq2 = make_cq("c2", cap=0.7)
+        rm = RankMerge(make_uq([cq1, cq2], k=2))
+        supplier = FakeSupplier("s1", [0.9, 0.1])
+        rm.register_stream(cq1, supplier)
+        supplier.push_next()  # 0.9 emittable (>= 0.7? no: gate=max(0.1,0.7)=0.7; 0.9>=0.7 emit)
+        rm.try_emit()
+        # next candidate must wait: active threshold 0.1 < pending 0.7
+        assert rm.should_activate()
+        assert rm.next_pending().cq_id == "c2"
+
+    def test_register_removes_pending(self):
+        cq1, cq2 = make_cq("c1"), make_cq("c2")
+        rm = RankMerge(make_uq([cq1, cq2], k=2))
+        rm.register_stream(cq1, FakeSupplier("s1", [0.5]))
+        assert [c.cq_id for c in rm.pending] == ["c2"]
+        assert rm.activations == 1
+
+    def test_recovery_stream_not_counted_as_activation(self):
+        cq1 = make_cq("c1")
+        rm = RankMerge(make_uq([cq1], k=2))
+        rm.register_stream(cq1, FakeSupplier("s1", [0.5]))
+        rm.register_stream(cq1, FakeSupplier("rec", [0.4]),
+                           kind="recovery")
+        assert rm.activations == 1
+
+
+class TestPruning:
+    def test_pending_pruned_below_kth(self):
+        cq1 = make_cq("c1", cap=1.0)
+        cq2 = make_cq("c2", cap=0.05)
+        rm = RankMerge(make_uq([cq1, cq2], k=2))
+        supplier = FakeSupplier("s1", [0.9, 0.8, 0.7])
+        rm.register_stream(cq1, supplier)
+        supplier.push_next()
+        supplier.push_next()
+        rm.try_emit()
+        # two candidates >= 0.8 known; cq2's best possible is 0.05
+        assert all(c.cq_id != "c2" for c in rm.pending)
+
+    def test_active_stream_deactivated_below_kth(self):
+        cq1 = make_cq("c1", cap=1.0)
+        cq2 = make_cq("c2", cap=1.0)
+        rm = RankMerge(make_uq([cq1, cq2], k=1))
+        s1 = FakeSupplier("s1", [0.9])
+        s2 = FakeSupplier("s2", [0.3, 0.2])
+        rm.register_stream(cq1, s1)
+        e2 = rm.register_stream(cq2, s2)
+        s2.push_next()  # threshold of s2 drops to 0.2
+        s1.push_next()  # 0.9 candidate; s1 exhausted
+        rm.try_emit()
+        assert rm.complete or not e2.active
+
+    def test_kth_ranked_score_accounts_for_emitted(self):
+        cq = make_cq("c1")
+        rm = RankMerge(make_uq([cq], k=2))
+        supplier = FakeSupplier("s1", [0.9, 0.8, 0.1])
+        rm.register_stream(cq, supplier)
+        supplier.push_next()
+        rm.try_emit()  # emits 0.9
+        supplier.push_next()
+        assert rm.kth_ranked_score() == pytest.approx(0.8)
+
+
+class TestPreference:
+    def test_preferred_entry_is_max_threshold(self):
+        cq1, cq2 = make_cq("c1"), make_cq("c2")
+        rm = RankMerge(make_uq([cq1, cq2], k=2))
+        s1 = FakeSupplier("s1", [0.5])
+        s2 = FakeSupplier("s2", [0.9])
+        rm.register_stream(cq1, s1)
+        rm.register_stream(cq2, s2)
+        assert rm.preferred_entry().supplier is s2
+
+    def test_preferred_skips_exhausted(self):
+        cq1, cq2 = make_cq("c1"), make_cq("c2")
+        rm = RankMerge(make_uq([cq1, cq2], k=2))
+        s1 = FakeSupplier("s1", [])
+        s2 = FakeSupplier("s2", [0.4])
+        rm.register_stream(cq1, s1)
+        rm.register_stream(cq2, s2)
+        assert rm.preferred_entry().supplier is s2
+
+    def test_preferred_none_when_all_done(self):
+        cq = make_cq("c1")
+        rm = RankMerge(make_uq([cq], k=2))
+        rm.register_stream(cq, FakeSupplier("s1", []))
+        assert rm.preferred_entry() is None
+
+
+class TestFinalize:
+    def test_finalize_flushes_queue(self):
+        cq = make_cq("c1")
+        rm = RankMerge(make_uq([cq], k=3))
+        supplier = FakeSupplier("s1", [0.9, 0.5])
+        rm.register_stream(cq, supplier)
+        supplier.push_next()
+        supplier.push_next()
+        rm.finalize()
+        assert rm.complete
+        assert [c.score for c in rm.emitted] == [
+            pytest.approx(0.9), pytest.approx(0.5)]
+
+    def test_finalize_respects_k(self):
+        cq = make_cq("c1")
+        rm = RankMerge(make_uq([cq], k=1))
+        supplier = FakeSupplier("s1", [0.9, 0.5])
+        rm.register_stream(cq, supplier)
+        supplier.push_next()
+        supplier.push_next()
+        rm.finalize()
+        assert len(rm.emitted) == 1
+
+    def test_all_streams_done(self):
+        cq = make_cq("c1")
+        rm = RankMerge(make_uq([cq], k=2))
+        rm.register_stream(cq, FakeSupplier("s1", []))
+        assert rm.all_streams_done()
+
+    def test_frontier_with_no_streams_is_pending_bound(self):
+        cq = make_cq("c1", cap=0.7)
+        rm = RankMerge(make_uq([cq], k=2))
+        assert rm.frontier() == pytest.approx(0.7)

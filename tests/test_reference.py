@@ -1,0 +1,104 @@
+"""Tests for the brute-force reference oracle itself.
+
+The oracle verifies the engine, so it needs its own checks against the
+(independent) site-level SPJ executor and hand-computed results.
+"""
+
+import pytest
+
+from repro.data.rows import STuple
+from repro.keyword.queries import UserQuery
+from repro.plan.expressions import SPJ, Atom, JoinPred, Selection
+from repro.reference import (
+    brute_force_topk,
+    evaluate_cq,
+    evaluate_spj,
+    topk_scores,
+)
+
+from tests.conftest import abc_expr, load_triple_federation, make_cq
+
+
+@pytest.fixture()
+def fed():
+    return load_triple_federation()
+
+
+class TestEvaluateSPJ:
+    def test_matches_site_executor_single_site(self, fed):
+        expr = SPJ(
+            [Atom("A", "A"), Atom("B", "B")],
+            [JoinPred.normalized("A", "x", "B", "x")],
+        )
+        site_results = set(fed.execute_spj(expr))
+        oracle_results = set(evaluate_spj(fed, expr))
+        assert oracle_results == site_results
+
+    def test_cross_site_join(self, fed):
+        results = evaluate_spj(fed, abc_expr())
+        # A1-B(1,10)-C10, A2-B(2,10)-C10, A2-B(2,20)-C20, A3-B(3,30)-C30
+        assert len(results) == 4
+
+    def test_selection_respected(self, fed):
+        expr = abc_expr((Selection("C", "name", "contains", "zeta"),))
+        results = evaluate_spj(fed, expr)
+        assert len(results) == 1
+        assert results[0].value("A", "x") == 3
+
+    def test_empty_result(self, fed):
+        expr = abc_expr((Selection("A", "name", "contains", "nonexistent"),))
+        assert evaluate_spj(fed, expr) == []
+
+    def test_single_atom(self, fed):
+        results = evaluate_spj(fed, SPJ([Atom("A", "A")]))
+        assert len(results) == 3
+
+
+class TestEvaluateCQ:
+    def test_scores_sorted(self, fed):
+        cq = make_cq(abc_expr(), fed)
+        scored = evaluate_cq(fed, cq)
+        values = [s for s, _t in scored]
+        assert values == sorted(values, reverse=True)
+
+    def test_hand_computed_scores(self, fed):
+        cq = make_cq(abc_expr(), fed)
+        scored = evaluate_cq(fed, cq)
+        # best: A1(0.9)+B(0)+C10(0.8) = 1.7
+        assert scored[0][0] == pytest.approx(1.7)
+
+    def test_all_results_scored(self, fed):
+        cq = make_cq(abc_expr(), fed)
+        assert len(evaluate_cq(fed, cq)) == 4
+
+
+class TestBruteForceTopK:
+    def test_pools_across_cqs(self, fed):
+        cq1 = make_cq(abc_expr(), fed, "c1", "u")
+        cq2 = make_cq(abc_expr().induced({"A"}), fed, "c2", "u")
+        uq = UserQuery("u", ("kw",), [cq1, cq2], k=3)
+        top = brute_force_topk(fed, uq)
+        assert len(top) == 3
+        cq_ids = {cq_id for _s, cq_id, _t in top}
+        assert cq_ids  # at least one source contributed
+
+    def test_k_truncation(self, fed):
+        cq = make_cq(abc_expr(), fed, "c1", "u")
+        uq = UserQuery("u", ("kw",), [cq], k=2)
+        assert len(brute_force_topk(fed, uq)) == 2
+
+    def test_topk_scores_vector(self, fed):
+        cq = make_cq(abc_expr(), fed, "c1", "u")
+        uq = UserQuery("u", ("kw",), [cq], k=10)
+        scores = topk_scores(fed, uq)
+        assert scores == sorted(scores, reverse=True)
+        assert len(scores) == 4  # only four results exist
+
+    def test_duplicate_provenance_across_cqs_kept(self, fed):
+        # Two CQs with identical expressions produce the same tuples;
+        # each CQ's copy counts separately (they are distinct answers).
+        cq1 = make_cq(abc_expr(), fed, "c1", "u")
+        cq2 = make_cq(abc_expr(), fed, "c2", "u")
+        uq = UserQuery("u", ("kw",), [cq1, cq2], k=8)
+        top = brute_force_topk(fed, uq)
+        assert len(top) == 8

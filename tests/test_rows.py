@@ -1,0 +1,100 @@
+"""Tests for Row and STuple semantics."""
+
+import pytest
+
+from repro.common.errors import DataError
+from repro.data.rows import Row, STuple
+
+
+def rowa(tid=1):
+    return Row("A", tid, {"x": 1, "s": 0.5})
+
+
+def rowb(tid=2):
+    return Row("B", tid, {"y": 7})
+
+
+class TestRow:
+    def test_getitem(self):
+        assert rowa()["x"] == 1
+
+    def test_getitem_missing(self):
+        with pytest.raises(DataError):
+            rowa()["nope"]
+
+    def test_get_default(self):
+        assert rowa().get("nope", 9) == 9
+
+    def test_identity_by_relation_and_tid(self):
+        assert Row("A", 1, {"x": 1}) == Row("A", 1, {"x": 999})
+        assert Row("A", 1, {}) != Row("A", 2, {})
+        assert Row("A", 1, {}) != Row("B", 1, {})
+
+    def test_hashable(self):
+        assert len({Row("A", 1, {}), Row("A", 1, {"q": 2})}) == 1
+
+
+class TestSTuple:
+    def test_requires_bindings(self):
+        with pytest.raises(DataError):
+            STuple({}, {})
+
+    def test_contribs_must_match_bindings(self):
+        with pytest.raises(DataError):
+            STuple({"a": rowa()}, {"b": 0.5})
+
+    def test_intrinsic_is_sum(self):
+        tup = STuple({"a": rowa(), "b": rowb()}, {"a": 0.5, "b": 0.25})
+        assert tup.intrinsic == 0.75
+
+    def test_single_constructor(self):
+        tup = STuple.single("a", rowa(), 0.5)
+        assert tup.intrinsic == 0.5
+        assert tup.aliases == frozenset({"a"})
+
+    def test_value_access(self):
+        tup = STuple.single("a", rowa(), 0.5)
+        assert tup.value("a", "x") == 1
+
+    def test_row_missing_alias(self):
+        with pytest.raises(DataError):
+            STuple.single("a", rowa(), 0.5).row("z")
+
+    def test_merge_disjoint(self):
+        merged = STuple.single("a", rowa(), 0.5).merge(
+            STuple.single("b", rowb(), 0.2))
+        assert merged.intrinsic == 0.7
+        assert merged.aliases == frozenset({"a", "b"})
+
+    def test_merge_overlapping_rejected(self):
+        t = STuple.single("a", rowa(), 0.5)
+        with pytest.raises(DataError):
+            t.merge(STuple.single("a", rowa(2), 0.1))
+
+    def test_provenance_identity(self):
+        t1 = STuple.single("a", rowa(), 0.5)
+        t2 = STuple.single("a", rowa(), 0.9)  # contribs differ, rows same
+        assert t1 == t2
+        assert len({t1, t2}) == 1
+
+    def test_rename(self):
+        t = STuple.single("a", rowa(), 0.5).rename({"a": "z"})
+        assert t.aliases == frozenset({"z"})
+        assert t.value("z", "x") == 1
+
+    def test_rename_collision_rejected(self):
+        t = STuple.single("a", rowa(), 0.5).merge(
+            STuple.single("b", rowb(), 0.2))
+        with pytest.raises(DataError):
+            t.rename({"a": "b"})
+
+    def test_project(self):
+        t = STuple.single("a", rowa(), 0.5).merge(
+            STuple.single("b", rowb(), 0.2))
+        p = t.project({"a"})
+        assert p.aliases == frozenset({"a"})
+        assert p.intrinsic == 0.5
+
+    def test_project_missing_rejected(self):
+        with pytest.raises(DataError):
+            STuple.single("a", rowa(), 0.5).project({"q"})

@@ -1,0 +1,128 @@
+"""Tests for the synthetic and real-data workload builders."""
+
+import pytest
+
+from repro.data.gus import GUSConfig, gus_federation
+from repro.data.biodb import BioDBConfig, biodb_federation
+from repro.data.inverted import InvertedIndex
+from repro.workload.realdata import (
+    build_realdata_workload,
+    realdata_workload_config,
+)
+from repro.workload.synthetic import (
+    WorkloadConfig,
+    arrival_times,
+    build_workload,
+    zipf_keyword_pairs,
+)
+
+
+@pytest.fixture(scope="module")
+def gus_fed():
+    return gus_federation(GUSConfig.tiny())
+
+
+@pytest.fixture(scope="module")
+def gus_index(gus_fed):
+    return InvertedIndex(gus_fed)
+
+
+@pytest.fixture(scope="module")
+def bio_fed():
+    return biodb_federation(BioDBConfig.tiny())
+
+
+class TestKeywordPairs:
+    def test_count_and_arity(self, gus_index):
+        config = WorkloadConfig(n_queries=7, keywords_per_query=2, seed=3)
+        pairs = zipf_keyword_pairs(gus_index, config)
+        assert len(pairs) == 7
+        assert all(len(p) == 2 for p in pairs)
+
+    def test_distinct_keywords_within_query(self, gus_index):
+        config = WorkloadConfig(n_queries=10, seed=3)
+        for pair in zipf_keyword_pairs(gus_index, config):
+            assert len(set(pair)) == len(pair)
+
+    def test_popular_terms_recur(self, gus_index):
+        config = WorkloadConfig(n_queries=15, seed=3)
+        pairs = zipf_keyword_pairs(gus_index, config)
+        all_terms = [t for pair in pairs for t in pair]
+        # Zipf draw: at least one term appears in several queries.
+        assert max(all_terms.count(t) for t in set(all_terms)) >= 3
+
+    def test_deterministic(self, gus_index):
+        config = WorkloadConfig(n_queries=5, seed=9)
+        assert zipf_keyword_pairs(gus_index, config) \
+            == zipf_keyword_pairs(gus_index, config)
+
+    def test_vocabulary_too_small_rejected(self, gus_index):
+        config = WorkloadConfig(n_queries=1, keywords_per_query=2,
+                                vocabulary_size=1, seed=3)
+        with pytest.raises(ValueError):
+            zipf_keyword_pairs(gus_index, config)
+
+
+class TestArrivals:
+    def test_gaps_bounded(self):
+        config = WorkloadConfig(n_queries=20, max_gap_seconds=6.0, seed=3)
+        times = arrival_times(config)
+        assert times[0] == 0.0
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(0.0 <= g <= 6.0 for g in gaps)
+
+    def test_nondecreasing(self):
+        times = arrival_times(WorkloadConfig(n_queries=10, seed=4))
+        assert times == sorted(times)
+
+
+class TestSyntheticWorkload:
+    def test_builds_15_uqs(self, gus_fed, gus_index):
+        config = WorkloadConfig(n_queries=15, k=10, seed=3,
+                                max_cqs_per_uq=10)
+        uqs = build_workload(gus_fed, config, index=gus_index)
+        assert len(uqs) == 15
+        for uq in uqs:
+            assert 1 <= len(uq.cqs) <= 10
+            assert uq.k == 10
+
+    def test_per_user_scoring_differs(self, gus_fed, gus_index):
+        config = WorkloadConfig(n_queries=15, k=10, seed=3)
+        uqs = build_workload(gus_fed, config, index=gus_index)
+        # Two users whose queries share a CQ expression should usually
+        # score it differently (Zipf-drawn coefficients).
+        by_expr = {}
+        found_difference = False
+        for uq in uqs:
+            for cq in uq.cqs:
+                if cq.expr in by_expr and \
+                        by_expr[cq.expr][0] != uq.uq_id:
+                    if by_expr[cq.expr][1] != cq.upper_bound:
+                        found_difference = True
+                by_expr.setdefault(cq.expr, (uq.uq_id, cq.upper_bound))
+        assert found_difference
+
+    def test_workload_overlap_exists(self, gus_fed, gus_index):
+        config = WorkloadConfig(n_queries=15, k=10, seed=3)
+        uqs = build_workload(gus_fed, config, index=gus_index)
+        footprints = [uq.relation_set for uq in uqs]
+        overlapping = sum(
+            1 for i in range(len(footprints))
+            for j in range(i + 1, len(footprints))
+            if footprints[i] & footprints[j]
+        )
+        assert overlapping >= 10  # heavy overlap is the point
+
+
+class TestRealDataWorkload:
+    def test_paper_parameters(self):
+        config = realdata_workload_config()
+        assert config.n_queries == 15
+        assert config.max_cqs_per_uq == 4
+
+    def test_builds_with_4cq_cap(self, bio_fed):
+        config = realdata_workload_config()
+        uqs = build_realdata_workload(bio_fed, config)
+        assert len(uqs) == 15
+        for uq in uqs:
+            assert 1 <= len(uq.cqs) <= 4
