@@ -1,0 +1,11 @@
+"""Compatibility shim.
+
+Everything lives in ``pyproject.toml``; this file only enables
+``pip install -e .`` / ``python setup.py develop`` on toolchains too
+old for PEP 660 editable installs (setuptools < 64, or environments
+without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

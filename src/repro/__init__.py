@@ -9,7 +9,7 @@ rank-merge operators coordinated by the ATC scheduler, and a query
 state manager that grafts, reuses, prunes, and evicts plan state over
 time.
 
-Quickstart::
+Batch quickstart::
 
     from repro import (
         ExecutionConfig, KeywordQuery, QSystemEngine, SharingMode,
@@ -23,6 +23,29 @@ Quickstart::
     engine.submit(KeywordQuery("KQ1", ("protein", "plasma membrane"), k=10))
     report = engine.run()
     print(report.answers["KQ1"])
+
+Online service quickstart -- the continuously operating middleware of
+Section 2, with answer caching, admission control, and open-loop load
+generation (:mod:`repro.service`)::
+
+    from repro import (
+        ExecutionConfig, KeywordQuery, LoadConfig, QService, ServiceConfig,
+        SharingMode, figure1_federation, generate_load,
+    )
+
+    federation = figure1_federation()
+    service = QService(
+        federation,
+        ExecutionConfig(mode=SharingMode.ATC_FULL, k=10, batch_window=2.0),
+        ServiceConfig(cache_ttl=300.0, max_in_flight=64),
+    )
+    # One-off admission along a virtual-time arrival stream:
+    ticket = service.submit(KeywordQuery("Q1", ("protein", "gene"),
+                                         k=10, arrival=0.0))
+    # ... or serve a whole open-loop Poisson/Zipf stream:
+    report = service.run(generate_load(federation,
+                                       LoadConfig(n_queries=200)))
+    print(report.render())   # p50/p95/p99, throughput, cache hit rate
 """
 
 from repro.atc.engine import EngineReport, QSystemEngine
@@ -32,6 +55,14 @@ from repro.data.database import Database, Federation
 from repro.data.figure1 import figure1_federation, figure1_schema
 from repro.data.gus import GUSConfig, gus_federation
 from repro.keyword.queries import ConjunctiveQuery, KeywordQuery, UserQuery
+from repro.service import (
+    LoadConfig,
+    QService,
+    ServiceConfig,
+    ServiceReport,
+    Ticket,
+    generate_load,
+)
 
 __version__ = "1.0.0"
 
@@ -45,12 +76,18 @@ __all__ = [
     "Federation",
     "GUSConfig",
     "KeywordQuery",
+    "LoadConfig",
+    "QService",
     "QSystemEngine",
+    "ServiceConfig",
+    "ServiceReport",
     "SharingMode",
+    "Ticket",
     "UserQuery",
     "biodb_federation",
     "figure1_federation",
     "figure1_schema",
+    "generate_load",
     "gus_federation",
     "__version__",
 ]

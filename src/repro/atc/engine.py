@@ -102,10 +102,16 @@ class QSystemEngine:
         self.generator = generator or CandidateNetworkGenerator(
             federation, index=self.index, max_cqs=config.max_cqs_per_uq,
         )
-        self.batcher = QueryBatcher(batch_size=config.batch_size)
+        self.batcher = QueryBatcher(batch_size=config.batch_size,
+                                    window=config.batch_window)
         self.qs = QueryStateManager(federation, config)
         self.cost_model = CostModel(federation, config)
         self._submitted: list[UserQuery] = []
+        #: Graphs with (potentially) incomplete rank-merges.  step()
+        #: only drives these, so per-arrival work under a sustained
+        #: stream stays proportional to the *live* graphs, not to
+        #: every graph ever created (ATC-CQ makes one per user query).
+        self._active_graphs: set[str] = set()
 
     # -- intake ---------------------------------------------------------------
 
@@ -132,12 +138,56 @@ class QSystemEngine:
         each batch's queries are grafted onto their plan graphs at
         dispatch time, *while earlier queries may still be executing*;
         after the last batch, every graph drains to completion.
+
+        ``run`` is re-entrant: a second call processes whatever was
+        submitted since the first and returns the *cumulative* report
+        (plan graphs, their state, and all metrics persist across
+        calls).  Calling it with nothing new submitted simply rebuilds
+        the current report.
         """
+        return self.drain()
+
+    def step(self, until: float) -> None:
+        """Advance the engine's virtual time to ``until``.
+
+        This is the online half of the execution API: every batch the
+        batcher has *closed* by ``until`` (full, or collection window
+        expired) is optimized and grafted onto its -- possibly still
+        running -- plan graph, then each graph executes up to
+        ``until``.  Queries still collecting in an open batch stay
+        queued for a later step, so new submissions interleave freely
+        with execution.  The state budget is enforced after every
+        step, which is what keeps memory bounded under sustained load
+        rather than only at end-of-run.
+        """
+        for batch in self.batcher.pop_ready(until):
+            self._run_batch(batch)
+        for graph_id in sorted(self._active_graphs):
+            graph = self.qs.graphs[graph_id]
+            ATCController(graph, self.qs).run_until(until)
+            self.qs.enforce_budget(graph)
+            if not graph.incomplete_rank_merges():
+                # Nothing left to drive; a later graft re-activates it.
+                self._active_graphs.discard(graph_id)
+
+    def drain(self) -> EngineReport:
+        """Dispatch everything still pending and run all graphs to
+        completion, then return the cumulative report."""
         for batch in self.batcher.drain():
             self._run_batch(batch)
         for graph in self.qs.graphs.values():
             ATCController(graph, self.qs).run_until_complete()
-            self.qs.enforce_budget(graph)
+        self.qs.enforce_all_budgets()
+        self._active_graphs.clear()
+        return self.report()
+
+    def report(self) -> EngineReport:
+        """Snapshot the cumulative state of every plan graph.
+
+        Usable at any point of a stepped execution; user queries still
+        in flight appear in the metrics with ``completed is None`` and
+        with their answers-so-far.
+        """
         report = EngineReport(config=self.config)
         report.metrics = self.qs.merged_metrics()
         for graph in self.qs.graphs.values():
@@ -153,6 +203,20 @@ class QSystemEngine:
             }
         return report
 
+    def in_flight(self) -> list[str]:
+        """IDs of user queries dispatched but not yet completed."""
+        return [
+            uq_id
+            for graph in self.qs.graphs.values()
+            for uq_id, rm in graph.rank_merges.items()
+            if not rm.complete
+        ]
+
+    def virtual_now(self) -> float:
+        """The furthest-ahead plan-graph clock (0.0 before any work)."""
+        return max((g.clock.now for g in self.qs.graphs.values()),
+                   default=0.0)
+
     def _run_batch(self, batch: Batch) -> None:
         """Graft one batch onto its (possibly still running) graphs.
 
@@ -166,6 +230,7 @@ class QSystemEngine:
         groups = self._optimization_groups(batch)
         for graph_id, uqs in groups:
             graph = self.qs.get_or_create_graph(graph_id)
+            self._active_graphs.add(graph_id)
             ATCController(graph, self.qs).run_until(batch.dispatch_time)
             graph.clock.advance_to(batch.dispatch_time)
             dispatched = graph.clock.now
@@ -236,7 +301,7 @@ class QSystemEngine:
         plan = factorize(result, cqs, self.cost_model, scope,
                          sharing=sharing)
         wall = time.perf_counter() - started
-        graph.clock.advance(wall)
+        graph.clock.advance(wall * self.config.optimizer_time_scale)
         graph.metrics.optimizer_records.append(OptimizerRecord(
             candidate_count=result.searched_candidates
             + len(candidate_set.pushdowns),

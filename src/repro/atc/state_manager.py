@@ -89,6 +89,10 @@ class QueryStateManager:
         self.graphs: dict[str, PlanGraph] = {}
         self.specs: dict[str, dict[str, SourceSpec | ComponentSpec]] = {}
         self.cq_plans: dict[str, dict[str, CQPlanInfo]] = {}
+        #: Which graph each registered user query runs on (the online
+        #: service resolves completions per live query through this
+        #: instead of rescanning every graph).
+        self.uq_graphs: dict[str, str] = {}
         self.clusterer = IncrementalClusterer(
             merge_threshold=config.cluster_jaccard,
             min_refs=config.cluster_min_refs,
@@ -161,6 +165,7 @@ class QueryStateManager:
                     f"{graph.graph_id}"
                 )
             graph.rank_merges[uq.uq_id] = RankMerge(uq)
+            self.uq_graphs[uq.uq_id] = graph.graph_id
 
     def unpin_all(self, graph: PlanGraph) -> None:
         for unit in graph.units.values():
@@ -349,7 +354,22 @@ class QueryStateManager:
             graph.metrics.evictions += 1
         return freed
 
+    def enforce_all_budgets(self) -> int:
+        """Enforce the memory budget on every graph; returns tuples freed.
+
+        The engine's ``drain`` sweeps every graph through this;
+        ``step`` enforces per *active* graph instead, which is what
+        makes eviction happen under sustained load rather than only
+        when a run finishes.
+        """
+        return sum(self.enforce_budget(graph)
+                   for graph in self.graphs.values())
+
     # -- aggregate views ---------------------------------------------------------------------
+
+    def total_state_size(self) -> int:
+        """Stored tuples across every graph (admission control's gauge)."""
+        return sum(graph.state_size() for graph in self.graphs.values())
 
     def merged_metrics(self):
         from repro.stats.metrics import Metrics

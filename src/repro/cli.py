@@ -7,7 +7,10 @@ Commands:
 * ``experiment <name>`` -- run one experiment driver (``table4``,
   ``figure7`` .. ``figure12``, ``ablations``) at quick or paper scale;
 * ``workload`` -- execute the full synthetic workload under a chosen
-  sharing mode and print the per-query report.
+  sharing mode and print the per-query report;
+* ``serve`` -- run the online query service under an open-loop
+  Poisson/Zipf load and print tail latencies, throughput, and the
+  answer-cache hit rate.
 """
 
 from __future__ import annotations
@@ -49,6 +52,35 @@ def _build_parser() -> argparse.ArgumentParser:
         "workload", help="run the 15-query synthetic workload")
     workload.add_argument("--mode", default="ATC-CL",
                           choices=[str(m) for m in SharingMode])
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the online service under open-loop Poisson/Zipf load")
+    serve.add_argument("--queries", type=int, default=200,
+                       help="arrivals to generate (default 200)")
+    serve.add_argument("--mode", default="ATC-FULL",
+                       choices=[str(m) for m in SharingMode])
+    serve.add_argument("--corpus", default="figure1",
+                       choices=("figure1", "gus"),
+                       help="federation to serve (default figure1)")
+    serve.add_argument("--rate", type=float, default=2.0,
+                       help="mean arrival rate, queries/virtual s (default 2)")
+    serve.add_argument("-k", type=int, default=10, help="top-k (default 10)")
+    serve.add_argument("--templates", type=int, default=12,
+                       help="distinct query templates (default 12)")
+    serve.add_argument("--theta", type=float, default=1.0,
+                       help="Zipf skew of template popularity (default 1.0)")
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--batch-window", type=float, default=2.0,
+                       help="batcher collection window, virtual s (default 2)")
+    serve.add_argument("--cache-ttl", type=float, default=300.0,
+                       help="answer-cache TTL, virtual s (default 300)")
+    serve.add_argument("--max-in-flight", type=int, default=64,
+                       help="admission budget on concurrent queries "
+                            "(default 64)")
+    serve.add_argument("--policy", default="reject",
+                       choices=("reject", "defer"),
+                       help="what to do over budget (default reject)")
     return parser
 
 
@@ -61,16 +93,28 @@ def _mode_from_name(name: str) -> SharingMode:
 
 def cmd_search(args: argparse.Namespace) -> int:
     from repro.atc.engine import QSystemEngine
+    from repro.common.errors import QueryError
     from repro.data.figure1 import figure1_federation
     from repro.keyword.queries import KeywordQuery
 
     federation = figure1_federation()
     config = ExecutionConfig(mode=_mode_from_name(args.mode), k=args.k)
     engine = QSystemEngine(federation, config)
-    uq = engine.submit(KeywordQuery("Q", tuple(args.keywords), k=args.k))
+    try:
+        uq = engine.submit(KeywordQuery("Q", tuple(args.keywords), k=args.k))
+    except QueryError:
+        print(f"no results: no relation matches {args.keywords}")
+        return 0
+    if not uq.cqs:
+        print(f"no results: no candidate network connects {args.keywords}")
+        return 0
     print(f"{len(uq.cqs)} candidate networks; executing...")
     report = engine.run()
-    for rank, answer in enumerate(report.answers["Q"], start=1):
+    answers = report.answers.get("Q", [])
+    if not answers:
+        print("no results: every candidate network came up empty")
+        return 0
+    for rank, answer in enumerate(answers, start=1):
         rows = ", ".join(
             f"{rel}#{tid}" for _a, rel, tid in sorted(answer.provenance))
         print(f"{rank:3d}. {answer.score:.4f}  {answer.cq_id}  [{rows}]")
@@ -117,14 +161,60 @@ def cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.data.figure1 import figure1_federation
+    from repro.data.gus import GUSConfig, gus_federation
+    from repro.service import (
+        LoadConfig,
+        QService,
+        ServiceConfig,
+        generate_load,
+    )
+
+    if args.corpus == "gus":
+        federation = gus_federation(
+            GUSConfig(n_hubs=8, links_per_extra_hub=2, synonym_every=3,
+                      satellites_per_hub=1, n_sites=4,
+                      min_rows=80, max_rows=260,
+                      domain_factor=0.45, seed=args.seed))
+    else:
+        federation = figure1_federation()
+    load = generate_load(federation, LoadConfig(
+        n_queries=args.queries, rate_qps=args.rate, k=args.k,
+        n_templates=args.templates, template_theta=args.theta,
+        seed=args.seed,
+    ))
+    config = ExecutionConfig(mode=_mode_from_name(args.mode), k=args.k,
+                             batch_window=args.batch_window, seed=args.seed)
+    service = QService(federation, config, ServiceConfig(
+        cache_ttl=args.cache_ttl,
+        max_in_flight=args.max_in_flight,
+        admission_policy=args.policy,
+    ))
+    print(f"serving {len(load)} arrivals at ~{args.rate:g} q/s "
+          f"({args.templates} templates, mode {args.mode}, "
+          f"corpus {args.corpus})...")
+    report = service.run(load)
+    print(report.render())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "search": cmd_search,
         "experiment": cmd_experiment,
         "workload": cmd_workload,
+        "serve": cmd_serve,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ValueError as exc:
+        # Config validation (k, rates, budgets...) raises ValueError
+        # with a self-explanatory message; show it as a CLI error
+        # rather than a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

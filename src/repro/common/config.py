@@ -76,6 +76,12 @@ class ExecutionConfig:
     batch_size:
         How many user queries the batcher groups before optimizing
         (the paper's default is 5; Figure 9 compares against 1).
+    batch_window:
+        How long (virtual seconds) the batcher collects queries before
+        a partial batch is dispatched anyway -- the paper's "small time
+        interval" of Section 3.  The online service's open-loop arrival
+        stream closes batches on this timer; the offline batch path
+        uses it as the maximum arrival spread within one batch.
     max_cqs_per_uq:
         Cap on candidate networks per keyword query (paper: 20).
     tau_probe_threshold:
@@ -110,6 +116,13 @@ class ExecutionConfig:
     probe_caching:
         Cache remote probe results (Section 7.1: "we cache tuples from
         random probes").  Disable for ablation.
+    optimizer_time_scale:
+        How much of the optimizer's *measured wall time* is charged to
+        the plan graph's virtual clock.  1.0 (default) is the paper's
+        accounting ("our timings included query optimization as a
+        component"); 0.0 makes runs bit-for-bit deterministic across
+        machines and load -- every other virtual cost is seeded -- which
+        is what throughput benchmarks comparing sharing modes need.
     scheduler:
         ATC scheduling policy across rank-merge operators.  The paper
         "explored a variety of scheduling schemes, and found that a
@@ -123,6 +136,7 @@ class ExecutionConfig:
     mode: SharingMode = SharingMode.ATC_FULL
     k: int = 50
     batch_size: int = 5
+    batch_window: float = 30.0
     max_cqs_per_uq: int = 20
     tau_probe_threshold: int = 200
     min_sharing_queries: int = 4
@@ -133,6 +147,7 @@ class ExecutionConfig:
     activation_band: float = 0.0
     adaptive_probe_ordering: bool = True
     probe_caching: bool = True
+    optimizer_time_scale: float = 1.0
     scheduler: str = "round_robin"
     delays: DelayModel = field(default_factory=DelayModel)
     seed: int = 42
@@ -142,6 +157,10 @@ class ExecutionConfig:
             raise ValueError(f"k must be positive, got {self.k}")
         if self.batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {self.batch_size}")
+        if self.batch_window < 0:
+            raise ValueError(
+                f"batch_window must be non-negative, got {self.batch_window}"
+            )
         if self.max_cqs_per_uq <= 0:
             raise ValueError(
                 f"max_cqs_per_uq must be positive, got {self.max_cqs_per_uq}"
@@ -152,6 +171,11 @@ class ExecutionConfig:
             )
         if self.memory_budget_tuples is not None and self.memory_budget_tuples <= 0:
             raise ValueError("memory_budget_tuples must be positive or None")
+        if self.optimizer_time_scale < 0:
+            raise ValueError(
+                f"optimizer_time_scale must be non-negative, "
+                f"got {self.optimizer_time_scale}"
+            )
         if self.scheduler not in ("round_robin", "priority"):
             raise ValueError(
                 f"scheduler must be 'round_robin' or 'priority', "

@@ -1,0 +1,38 @@
+"""The online serving layer: continuous admission over the Q System.
+
+This package turns the batch reproduction into the always-on middleware
+the paper describes: :class:`QService` admits keyword queries along a
+virtual-time arrival stream while earlier queries are still executing,
+backed by an answer cache for the workload's Zipf head
+(:mod:`~repro.service.cache`), admission control for overload
+(:mod:`~repro.service.admission`), tail-latency/throughput telemetry
+(:mod:`~repro.service.telemetry`), and an open-loop Poisson/Zipf load
+generator for heavy-traffic scenarios (:mod:`~repro.service.loadgen`).
+"""
+
+from repro.service.admission import AdmissionController, AdmissionDecision
+from repro.service.cache import CacheStats, ResultCache, normalize_key
+from repro.service.loadgen import LoadConfig, generate_load
+from repro.service.server import (
+    QService,
+    ServiceConfig,
+    ServiceReport,
+    Ticket,
+)
+from repro.service.telemetry import Telemetry, percentile
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "CacheStats",
+    "LoadConfig",
+    "QService",
+    "ResultCache",
+    "ServiceConfig",
+    "ServiceReport",
+    "Telemetry",
+    "Ticket",
+    "generate_load",
+    "normalize_key",
+    "percentile",
+]

@@ -1,0 +1,138 @@
+"""The answer cache.
+
+Qunits (Nandi & Jagadish) motivates caching *returned units* across
+users: keyword workloads are heavily Zipfian, so the same handful of
+popular searches recurs across many users.  The online service keeps a
+small TTL'd cache of final top-k answer lists keyed by the *normalized*
+query -- keyword multiset (case-folded, order-insensitive) plus ``k`` --
+so a repeated popular query is answered without touching the batcher,
+optimizer, or plan graphs at all.
+
+Time is the service's virtual time: entries expire ``ttl`` virtual
+seconds after they were stored, and capacity pressure evicts in LRU
+order.  Hit/miss/eviction/expiry counts feed the service telemetry's
+cache-hit-rate line.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.keyword.queries import RankedAnswer
+
+#: A normalized query identity: (case-folded keyword set, k).
+CacheKey = tuple[frozenset[str], int]
+
+
+def normalize_key(keywords: Iterable[str], k: int) -> CacheKey:
+    """Collapse a query to its cache identity.
+
+    Case and keyword order never change the answer set, so
+    ``("Protein", "gene")`` and ``("gene", "protein")`` share an entry;
+    a different ``k`` is a different answer list and must not.
+    """
+    return (frozenset(kw.lower() for kw in keywords), int(k))
+
+
+@dataclass
+class CacheEntry:
+    answers: list[RankedAnswer]
+    stored_at: float
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    expirations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "insertions": float(self.insertions),
+            "evictions": float(self.evictions),
+            "expirations": float(self.expirations),
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ResultCache:
+    """TTL + LRU cache of final answer lists, in virtual time."""
+
+    def __init__(self, ttl: float = 300.0, capacity: int = 1024) -> None:
+        if ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl}")
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.ttl = ttl
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: OrderedDict[CacheKey, CacheEntry] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def get(self, key: CacheKey, now: float,
+            record: bool = True) -> list[RankedAnswer] | None:
+        """Return the cached answers for ``key``, or None.
+
+        An entry older than ``ttl`` at ``now`` counts as a miss (and is
+        dropped); a hit refreshes the entry's LRU position.  Pass
+        ``record=False`` for internal polling (the service retrying a
+        deferred query every step) so hit/miss stats keep reflecting
+        user-facing lookups only -- expirations are still counted, as
+        the entry genuinely lapsed.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            if record:
+                self.stats.misses += 1
+            return None
+        if now - entry.stored_at > self.ttl:
+            del self._entries[key]
+            self.stats.expirations += 1
+            if record:
+                self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        if record:
+            self.stats.hits += 1
+        return entry.answers
+
+    def put(self, key: CacheKey, answers: list[RankedAnswer],
+            now: float) -> None:
+        """Store ``answers`` under ``key``, evicting LRU entries to fit."""
+        if key in self._entries:
+            del self._entries[key]
+        self._entries[key] = CacheEntry(list(answers), now)
+        self.stats.insertions += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def purge_expired(self, now: float) -> int:
+        """Drop every entry past its TTL; returns how many went."""
+        stale = [key for key, entry in self._entries.items()
+                 if now - entry.stored_at > self.ttl]
+        for key in stale:
+            del self._entries[key]
+        self.stats.expirations += len(stale)
+        return len(stale)

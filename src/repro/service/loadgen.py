@@ -1,0 +1,135 @@
+"""Open-loop load generation.
+
+The paper exercises the Q System with 15 user queries; a serving layer
+needs *traffic*.  This module produces an open-loop arrival stream --
+clients do not wait for responses, so the arrival process never slows
+down under server congestion, the standard way to expose a system's
+sustainable throughput -- of hundreds of keyword queries:
+
+* **arrivals** follow a Poisson process at ``rate_qps`` queries per
+  virtual second (exponential inter-arrival gaps);
+* **query popularity** is Zipfian over a fixed set of distinct query
+  *templates* (keyword tuples drawn from the corpus vocabulary, itself
+  Zipf-weighted, mirroring the paper's synthetic workload).  The head
+  templates recur constantly -- that is what the service's answer cache
+  and the optimizer's cross-query sharing both feed on -- while the
+  tail keeps introducing fresh work.
+
+Everything is seeded through :func:`repro.common.rng.make_rng`, so a
+load stream is reproducible bit-for-bit and two sharing modes can be
+benchmarked under the *identical* sequence of arrivals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.rng import ZipfSampler, make_rng, poisson_delay
+from repro.data.database import Federation
+from repro.data.inverted import InvertedIndex
+from repro.keyword.queries import KeywordQuery
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """Shape of one open-loop load stream."""
+
+    n_queries: int = 200
+    rate_qps: float = 2.0
+    keywords_per_query: int = 2
+    k: int = 10
+    n_templates: int = 12
+    template_theta: float = 1.0
+    vocabulary_size: int = 24
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.n_queries <= 0:
+            raise ValueError(f"n_queries must be positive, got {self.n_queries}")
+        if self.rate_qps <= 0:
+            raise ValueError(f"rate_qps must be positive, got {self.rate_qps}")
+        if self.n_templates <= 0:
+            raise ValueError(
+                f"n_templates must be positive, got {self.n_templates}")
+        if self.keywords_per_query <= 0:
+            raise ValueError(
+                f"keywords_per_query must be positive, "
+                f"got {self.keywords_per_query}")
+
+
+def build_templates(index: InvertedIndex, config: LoadConfig
+                    ) -> list[tuple[str, ...]]:
+    """Distinct keyword tuples over the indexed vocabulary.
+
+    Keywords are Zipf-drawn by corpus frequency (popular terms cluster
+    in popular queries); duplicate tuples are rejected so the template
+    list enumerates *distinct* queries -- popularity across arrivals is
+    applied separately by :func:`generate_load`.  Fewer templates than
+    requested may be returned on a tiny vocabulary.
+    """
+    vocabulary = index.vocabulary()[: config.vocabulary_size]
+    if len(vocabulary) < config.keywords_per_query:
+        raise ValueError(
+            f"vocabulary has only {len(vocabulary)} terms; cannot draw "
+            f"{config.keywords_per_query}-keyword queries"
+        )
+    sampler = ZipfSampler(len(vocabulary), theta=1.0,
+                          rng=make_rng(config.seed, "loadgen-templates"))
+    templates: list[tuple[str, ...]] = []
+    seen: set[frozenset[str]] = set()
+    attempts = 0
+    max_attempts = config.n_templates * 50
+    while len(templates) < config.n_templates and attempts < max_attempts:
+        attempts += 1
+        chosen: list[str] = []
+        while len(chosen) < config.keywords_per_query:
+            term = vocabulary[sampler.sample()]
+            if term not in chosen:
+                chosen.append(term)
+        key = frozenset(chosen)
+        if key in seen:
+            continue
+        seen.add(key)
+        templates.append(tuple(chosen))
+    return templates
+
+
+def generate_arrivals(config: LoadConfig) -> list[float]:
+    """Poisson-process arrival instants at ``rate_qps`` (open loop)."""
+    rng = make_rng(config.seed, "loadgen-arrivals")
+    mean_gap = 1.0 / config.rate_qps
+    times: list[float] = []
+    now = 0.0
+    for _ in range(config.n_queries):
+        times.append(now)
+        now += poisson_delay(rng, mean_gap)
+    return times
+
+
+def generate_load(federation: Federation, config: LoadConfig | None = None,
+                  index: InvertedIndex | None = None) -> list[KeywordQuery]:
+    """The full arrival stream: timestamped keyword queries, in order.
+
+    Each arrival Zipf-draws a template (``template_theta`` sets the
+    skew: 0 is uniform, >= 1 concentrates the head hard), so the
+    stream's most popular query recurs dozens of times across hundreds
+    of arrivals while tail templates may appear once.
+    """
+    config = config or LoadConfig()
+    index = index if index is not None else InvertedIndex(federation)
+    templates = build_templates(index, config)
+    arrivals = generate_arrivals(config)
+    picker = ZipfSampler(len(templates), theta=config.template_theta,
+                         rng=make_rng(config.seed, "loadgen-popularity"))
+    width = len(str(config.n_queries))
+    out: list[KeywordQuery] = []
+    for i, at in enumerate(arrivals, start=1):
+        rank = picker.sample()
+        out.append(KeywordQuery(
+            kq_id=f"Q{i:0{width}d}",
+            keywords=templates[rank],
+            k=config.k,
+            user=f"user{1 + (i * 7) % 97}",
+            arrival=at,
+        ))
+    return out

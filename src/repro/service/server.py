@@ -1,0 +1,355 @@
+"""The online query service.
+
+The Q System is a *continuously operating* middleware: "we do not
+discard the query plan graph and its state; rather, we take subsequent
+queries and attempt to graft them onto the existing graph."
+:class:`QService` is that serving layer.  Where :class:`~repro.atc.
+engine.QSystemEngine` alone exposes a closed batch lifecycle (submit
+everything, then run), the service admits queries one at a time along a
+virtual-time arrival stream while earlier queries are still executing:
+
+* each :meth:`submit` first *steps* the engine up to the new arrival's
+  instant (grafting any batch the batcher closed, executing every plan
+  graph to that time, harvesting completions into the answer cache);
+* the **answer cache** (:mod:`repro.service.cache`) serves repeated
+  popular queries -- the Zipf head of a realistic keyword workload --
+  without touching the optimizer at all, and identical queries already
+  in flight are *coalesced* onto the running one;
+* **admission control** (:mod:`repro.service.admission`) sheds or
+  defers queries when the in-flight or state budget is exhausted;
+* **telemetry** (:mod:`repro.service.telemetry`) tracks the tail
+  latencies, throughput, and hit rates a serving system is judged by.
+
+Typical use::
+
+    service = QService(federation, ExecutionConfig(mode=SharingMode.ATC_FULL))
+    for kq in generate_load(federation, LoadConfig(n_queries=200)):
+        service.submit(kq)          # steps virtual time to kq.arrival
+    report = service.drain()        # finish everything in flight
+    print(report.render())
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field, replace
+
+from repro.atc.engine import EngineReport, QSystemEngine
+from repro.common.config import ExecutionConfig
+from repro.common.errors import QueryError
+from repro.data.database import Federation
+from repro.data.inverted import InvertedIndex
+from repro.keyword.candidates import CandidateNetworkGenerator
+from repro.keyword.queries import KeywordQuery, RankedAnswer
+from repro.service.admission import AdmissionController
+from repro.service.cache import CacheKey, ResultCache, normalize_key
+from repro.service.telemetry import Telemetry
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Serving-layer tunables (the engine keeps its own
+    :class:`~repro.common.config.ExecutionConfig`)."""
+
+    cache_ttl: float = 300.0
+    cache_capacity: int = 1024
+    max_in_flight: int | None = 64
+    max_state_tuples: int | None = None
+    admission_policy: str = "reject"
+    coalesce: bool = True
+
+
+@dataclass
+class Ticket:
+    """The service's receipt for one submitted keyword query."""
+
+    kq_id: str
+    keywords: tuple[str, ...]
+    k: int
+    arrival: float
+    status: str = "pending"  # pending | in-flight | deferred | rejected | done
+    via: str | None = None   # engine | cache | coalesced | empty
+    uq_id: str | None = None
+    answers: list[RankedAnswer] | None = None
+    completed_at: float | None = None
+    reason: str = ""
+
+    @property
+    def done(self) -> bool:
+        return self.status == "done"
+
+    @property
+    def latency(self) -> float | None:
+        """Arrival-to-answer, in virtual seconds (None until served)."""
+        if self.completed_at is None:
+            return None
+        return max(self.completed_at - self.arrival, 0.0)
+
+    def __repr__(self) -> str:
+        return (f"Ticket({self.kq_id}, {self.status}"
+                f"{f' via {self.via}' if self.via else ''})")
+
+
+@dataclass
+class ServiceReport:
+    """Everything one serving run produced."""
+
+    telemetry: Telemetry
+    cache_stats: dict[str, float]
+    admission_stats: dict[str, float]
+    engine_report: EngineReport
+    tickets: list[Ticket] = field(default_factory=list)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_stats.get("hit_rate", 0.0)
+
+    @property
+    def throughput(self) -> float:
+        return self.telemetry.throughput()
+
+    def render(self) -> str:
+        metrics = self.engine_report.metrics
+        lines = [
+            self.telemetry.render(cache_hit_rate=self.cache_hit_rate),
+            f"engine    : {metrics.stream_tuples_read} stream reads + "
+            f"{metrics.probes_performed} probes "
+            f"({metrics.probe_cache_hits} probe-cache hits, "
+            f"{metrics.evictions} evictions)",
+        ]
+        return "\n".join(lines)
+
+
+class QService:
+    """Continuous-admission facade over the Q System engine."""
+
+    def __init__(self, federation: Federation, config: ExecutionConfig,
+                 service: ServiceConfig | None = None,
+                 generator: CandidateNetworkGenerator | None = None,
+                 index: InvertedIndex | None = None) -> None:
+        self.service_config = service or ServiceConfig()
+        self.engine = QSystemEngine(federation, config,
+                                    generator=generator, index=index)
+        self.cache = ResultCache(ttl=self.service_config.cache_ttl,
+                                 capacity=self.service_config.cache_capacity)
+        self.admission = AdmissionController(
+            max_in_flight=self.service_config.max_in_flight,
+            max_state_tuples=self.service_config.max_state_tuples,
+            policy=self.service_config.admission_policy,
+        )
+        self.telemetry = Telemetry()
+        self.tickets: list[Ticket] = []
+        self._live: dict[str, Ticket] = {}          # uq_id -> ticket
+        self._inflight_keys: dict[CacheKey, str] = {}  # key -> leading uq_id
+        self._followers: dict[CacheKey, list[Ticket]] = {}
+        self._deferred: deque[tuple[KeywordQuery, Ticket]] = deque()
+        self._now = 0.0
+
+    # -- intake ---------------------------------------------------------------
+
+    def submit(self, kq: KeywordQuery, arrival: float | None = None) -> Ticket:
+        """Admit one keyword query at its (virtual) arrival instant.
+
+        Execution first advances to the arrival -- queries admitted
+        earlier keep running and completing in the meantime -- then the
+        new query is served from the cache, coalesced onto an identical
+        in-flight query, admitted to the engine, deferred, or shed,
+        in that order of preference.
+        """
+        at = kq.arrival if arrival is None else arrival
+        at = max(at, self._now)
+        ticket = Ticket(kq_id=kq.kq_id, keywords=tuple(kq.keywords),
+                        k=kq.k, arrival=at)
+        self.tickets.append(ticket)
+        self.telemetry.record_arrival(at)
+        self.step(at)
+
+        if self._serve_fast(ticket, at):
+            return ticket
+
+        decision = self.admission.decide(
+            in_flight=len(self._live),
+            state_tuples=self.engine.qs.total_state_size(),
+        )
+        if decision.action == "reject":
+            ticket.status = "rejected"
+            ticket.reason = decision.reason
+            self.telemetry.record_rejection()
+            return ticket
+        if decision.action == "defer":
+            ticket.status = "deferred"
+            ticket.reason = decision.reason
+            self._deferred.append((kq, ticket))
+            self.telemetry.record_deferral()
+            return ticket
+        self._start(kq, ticket, at)
+        return ticket
+
+    def _serve_fast(self, ticket: Ticket, at: float,
+                    record: bool = True) -> bool:
+        """Try the two no-execution paths: answer cache, then
+        coalescing onto an identical in-flight query.
+
+        Used on first admission and again on every deferred retry (a
+        parked query's twin may have completed meanwhile).  Retries
+        pass ``record=False`` so their per-step polling does not
+        inflate the cache's user-facing miss count.
+        """
+        key = normalize_key(ticket.keywords, ticket.k)
+        cached = self.cache.get(key, now=at, record=record)
+        if cached is not None:
+            if not record:
+                # The serve is real even though the poll was silent;
+                # count the hit itself.
+                self.cache.get(key, now=at)
+            ticket.status = "done"
+            ticket.via = "cache"
+            ticket.answers = list(cached)
+            ticket.completed_at = at
+            self.telemetry.record_cache_hit()
+            self.telemetry.record_completion(at, max(at - ticket.arrival, 0.0))
+            return True
+        if self.service_config.coalesce and key in self._inflight_keys:
+            ticket.status = "in-flight"
+            ticket.via = "coalesced"
+            ticket.uq_id = self._inflight_keys[key]
+            self._followers.setdefault(key, []).append(ticket)
+            self.telemetry.record_coalesced()
+            return True
+        return False
+
+    def _start(self, kq: KeywordQuery, ticket: Ticket, at: float) -> None:
+        """Expand and hand one admitted query to the engine."""
+        try:
+            uq = self.engine.generator.generate(replace(kq, arrival=at))
+        except QueryError as exc:
+            self._finish_empty(ticket, at, str(exc))
+            return
+        if not uq.cqs:
+            self._finish_empty(ticket, at, "no candidate networks")
+            return
+        self.engine.submit_user_query(uq)
+        ticket.status = "in-flight"
+        ticket.via = "engine"
+        ticket.uq_id = uq.uq_id
+        self._live[uq.uq_id] = ticket
+        key = normalize_key(ticket.keywords, ticket.k)
+        self._inflight_keys.setdefault(key, uq.uq_id)
+
+    def _finish_empty(self, ticket: Ticket, at: float, reason: str) -> None:
+        """Serve a query no candidate network can answer: empty top-k."""
+        ticket.status = "done"
+        ticket.via = "empty"
+        ticket.answers = []
+        ticket.completed_at = at
+        ticket.reason = reason
+        self.telemetry.record_no_results()
+        self.telemetry.record_completion(at, 0.0)
+
+    # -- progress --------------------------------------------------------------
+
+    def step(self, until: float) -> None:
+        """Advance virtual time: execute, harvest completions, retry
+        deferred queries against the freed budget."""
+        self._now = max(self._now, until)
+        self.engine.step(until)
+        self._harvest()
+        self._retry_deferred(until)
+
+    def drain(self) -> ServiceReport:
+        """Finish every admitted query (deferred ones included) and
+        return the serving report."""
+        while True:
+            self.engine.drain()
+            self._harvest()
+            if not self._deferred:
+                break
+            self._now = max(self._now, self.engine.virtual_now())
+            self._retry_deferred(self._now)
+            if self._deferred and not self._live:
+                # Budget still exhausted with nothing running: the
+                # state gauge alone is over budget, so deferral can
+                # never clear -- shed the stragglers rather than spin.
+                while self._deferred:
+                    kq, ticket = self._deferred.popleft()
+                    ticket.status = "rejected"
+                    ticket.reason = "deferred past drain; state budget " \
+                                    "never freed"
+                    self.telemetry.record_rejection()
+        return self.report()
+
+    def report(self) -> ServiceReport:
+        return ServiceReport(
+            telemetry=self.telemetry,
+            cache_stats=self.cache.stats.snapshot(),
+            admission_stats=self.admission.snapshot(),
+            engine_report=self.engine.report(),
+            tickets=list(self.tickets),
+        )
+
+    def run(self, load: list[KeywordQuery]) -> ServiceReport:
+        """Serve one open-loop arrival stream end to end."""
+        for kq in sorted(load, key=lambda q: q.arrival):
+            self.submit(kq)
+        return self.drain()
+
+    # -- internals ----------------------------------------------------------------
+
+    def _harvest(self) -> None:
+        """Resolve tickets whose user query completed, feed the cache,
+        and release coalesced followers.
+
+        Walks only the *live* tickets (resolved to their graph through
+        the QS manager's registry), so harvesting stays O(in-flight)
+        under a long stream instead of rescanning every rank-merge
+        ever created.
+        """
+        for uq_id, ticket in list(self._live.items()):
+            graph_id = self.engine.qs.uq_graphs.get(uq_id)
+            if graph_id is None:
+                continue   # still queued in the batcher
+            graph = self.engine.qs.graphs[graph_id]
+            rm = graph.rank_merges[uq_id]
+            if not rm.complete:
+                continue
+            record = graph.metrics.uq_records.get(uq_id)
+            completed_at = record.completed \
+                if record is not None and record.completed is not None \
+                else graph.clock.now
+            answers = list(rm.answers)
+            del self._live[uq_id]
+            ticket.status = "done"
+            ticket.answers = answers
+            ticket.completed_at = completed_at
+            self.telemetry.record_completion(
+                completed_at, max(completed_at - ticket.arrival, 0.0))
+            key = normalize_key(ticket.keywords, ticket.k)
+            self.cache.put(key, answers, now=completed_at)
+            if self._inflight_keys.get(key) == uq_id:
+                del self._inflight_keys[key]
+            for follower in self._followers.pop(key, []):
+                follower.status = "done"
+                follower.answers = list(answers)
+                follower.completed_at = completed_at
+                self.telemetry.record_completion(
+                    completed_at,
+                    max(completed_at - follower.arrival, 0.0))
+
+    def _retry_deferred(self, at: float) -> None:
+        """Re-try parked queries: serve from cache / coalesce if a twin
+        finished (or is running) meanwhile, admit if the budget has
+        freed, keep parked otherwise.  Uses the admission controller's
+        silent gauge check, so retry attempts never inflate its
+        per-query decision counters."""
+        still: deque[tuple[KeywordQuery, Ticket]] = deque()
+        while self._deferred:
+            kq, ticket = self._deferred.popleft()
+            if self._serve_fast(ticket, at, record=False):
+                continue
+            if not self.admission.would_admit(
+                    in_flight=len(self._live),
+                    state_tuples=self.engine.qs.total_state_size()):
+                still.append((kq, ticket))
+                continue
+            self._start(kq, ticket, at)
+        self._deferred = still

@@ -1,0 +1,158 @@
+"""Service telemetry: tail latencies, throughput, cache effectiveness.
+
+The paper reports per-query averages over a 15-query workload; a
+serving layer under open-loop load is judged by its *distribution* --
+the p95/p99 stragglers that batching, contention, and admission policy
+create.  :class:`Telemetry` accumulates one latency sample per served
+query (arrival to answer, in virtual seconds; cache hits count at their
+actual -- near zero -- latency) plus the admission/caching counters,
+and renders the operator's one-screen summary.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+
+def percentile(samples: Sequence[float], pct: float) -> float:
+    """Linear-interpolation percentile (numpy's default method).
+
+    ``pct`` is in [0, 100].  Returns NaN for an empty sample set
+    rather than raising: a telemetry line with no completions yet is a
+    normal serving condition, not an error.
+    """
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"pct must lie in [0, 100], got {pct}")
+    if not samples:
+        return float("nan")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+@dataclass
+class Telemetry:
+    """Aggregates one service run's operational numbers.
+
+    ``completed`` and ``rejected`` are terminal dispositions: once a
+    run is drained, every submitted query is exactly one of the two
+    (``completed + rejected == submitted``).  ``deferred``,
+    ``served_from_cache``, ``coalesced``, and ``no_results`` are
+    *event/route* counters along the way -- a deferred query later
+    completes (or is shed as rejected), so ``deferred`` overlaps the
+    terminal counts by design.
+    """
+
+    latencies: list[float] = field(default_factory=list)
+    submitted: int = 0
+    completed: int = 0
+    served_from_cache: int = 0
+    coalesced: int = 0
+    rejected: int = 0
+    deferred: int = 0
+    no_results: int = 0
+    first_arrival: float | None = None
+    last_event: float = 0.0
+
+    # -- recording ----------------------------------------------------------
+
+    def record_arrival(self, at: float) -> None:
+        self.submitted += 1
+        if self.first_arrival is None or at < self.first_arrival:
+            self.first_arrival = at
+        self.last_event = max(self.last_event, at)
+
+    def record_completion(self, at: float, latency: float) -> None:
+        """One query answered -- whether executed, coalesced, or cached."""
+        if latency < 0:
+            raise ValueError(f"latency cannot be negative, got {latency}")
+        self.completed += 1
+        self.latencies.append(latency)
+        self.last_event = max(self.last_event, at)
+
+    def record_cache_hit(self) -> None:
+        self.served_from_cache += 1
+
+    def record_coalesced(self) -> None:
+        self.coalesced += 1
+
+    def record_rejection(self) -> None:
+        self.rejected += 1
+
+    def record_deferral(self) -> None:
+        self.deferred += 1
+
+    def record_no_results(self) -> None:
+        self.no_results += 1
+
+    # -- derived ---------------------------------------------------------------
+
+    def latency_percentiles(self) -> dict[str, float]:
+        return {
+            "p50": percentile(self.latencies, 50.0),
+            "p95": percentile(self.latencies, 95.0),
+            "p99": percentile(self.latencies, 99.0),
+        }
+
+    def mean_latency(self) -> float:
+        if not self.latencies:
+            return float("nan")
+        return sum(self.latencies) / len(self.latencies)
+
+    def elapsed(self) -> float:
+        """Virtual seconds from first arrival to last completion."""
+        if self.first_arrival is None:
+            return 0.0
+        return max(self.last_event - self.first_arrival, 0.0)
+
+    def throughput(self) -> float:
+        """Completed queries per virtual second over the serving window."""
+        if self.completed == 0:
+            return 0.0
+        span = self.elapsed()
+        if span <= 0.0:
+            return float("inf")
+        return self.completed / span
+
+    def summary(self) -> dict[str, float]:
+        out = {
+            "submitted": float(self.submitted),
+            "completed": float(self.completed),
+            "served_from_cache": float(self.served_from_cache),
+            "coalesced": float(self.coalesced),
+            "rejected": float(self.rejected),
+            "deferred": float(self.deferred),
+            "no_results": float(self.no_results),
+            "elapsed_virtual_s": self.elapsed(),
+            "throughput_qps": self.throughput(),
+            "mean_latency": self.mean_latency(),
+        }
+        out.update(self.latency_percentiles())
+        return out
+
+    def render(self, cache_hit_rate: float | None = None) -> str:
+        """The operator's summary block (the ``serve`` command prints it)."""
+        pcts = self.latency_percentiles()
+        lines = [
+            f"served    : {self.completed}/{self.submitted} queries "
+            f"({self.served_from_cache} from cache, "
+            f"{self.coalesced} coalesced, {self.rejected} rejected, "
+            f"{self.deferred} deferred, {self.no_results} empty)",
+            f"latency   : p50 {pcts['p50']:.3f}s  p95 {pcts['p95']:.3f}s  "
+            f"p99 {pcts['p99']:.3f}s  (mean {self.mean_latency():.3f}s, "
+            f"virtual)",
+            f"throughput: {self.throughput():.2f} queries/virtual s "
+            f"over {self.elapsed():.1f}s",
+        ]
+        if cache_hit_rate is not None:
+            lines.append(f"cache     : {cache_hit_rate:.1%} hit rate")
+        return "\n".join(lines)

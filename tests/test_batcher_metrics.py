@@ -66,6 +66,53 @@ class TestBatcher:
         assert QueryBatcher().drain() == []
 
 
+class TestPopReady:
+    """Online (time-driven) batch closing for the service layer."""
+
+    def test_not_ready_while_window_open(self, fed):
+        batcher = QueryBatcher(batch_size=5, window=10)
+        batcher.submit(make_uq("u1", 0.0, fed))
+        assert batcher.pop_ready(now=5.0) == []
+        assert batcher.pending_count == 1
+
+    def test_full_batch_closes_immediately(self, fed):
+        batcher = QueryBatcher(batch_size=2, window=100)
+        batcher.submit(make_uq("u1", 0.0, fed))
+        batcher.submit(make_uq("u2", 1.0, fed))
+        batches = batcher.pop_ready(now=1.0)
+        assert [len(b.uqs) for b in batches] == [2]
+        assert batches[0].dispatch_time == 1.0
+        assert batcher.pending_count == 0
+
+    def test_window_expiry_dispatches_partial_batch(self, fed):
+        batcher = QueryBatcher(batch_size=5, window=10)
+        batcher.submit(make_uq("u1", 0.0, fed))
+        batches = batcher.pop_ready(now=10.5)
+        assert [len(b.uqs) for b in batches] == [1]
+        # Online, nobody knows no further query is coming: the batch
+        # dispatches when the collection window runs out.
+        assert batches[0].dispatch_time == 10.0
+
+    def test_future_arrivals_stay_pending(self, fed):
+        batcher = QueryBatcher(batch_size=2, window=10)
+        batcher.submit(make_uq("u1", 0.0, fed))
+        batcher.submit(make_uq("u2", 50.0, fed))
+        batches = batcher.pop_ready(now=20.0)
+        assert [u.uq_id for b in batches for u in b.uqs] == ["u1"]
+        assert batcher.pending_count == 1
+
+    def test_batch_indices_unique_across_calls(self, fed):
+        batcher = QueryBatcher(batch_size=1, window=10)
+        batcher.submit(make_uq("u1", 0.0, fed))
+        batcher.submit(make_uq("u2", 1.0, fed))
+        first = batcher.pop_ready(now=2.0)
+        batcher.submit(make_uq("u3", 3.0, fed))
+        second = batcher.drain()
+        indices = [b.index for b in first + second]
+        assert indices == sorted(indices)
+        assert len(set(indices)) == len(indices)
+
+
 class TestMetrics:
     def test_record_stream_read(self):
         metrics = Metrics()

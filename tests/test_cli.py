@@ -40,3 +40,31 @@ class TestSearchCommand:
         out = capsys.readouterr().out
         assert "candidate networks" in out
         assert "CQs executed" in out
+
+    def test_unmatched_keywords_print_no_results(self, capsys):
+        """Keywords matching nothing must not crash (KeyError: 'Q')."""
+        exit_code = main(["search", "zzzznothingmatchesthis"])
+        assert exit_code == 0
+        assert "no results" in capsys.readouterr().out
+
+    def test_mixed_unmatched_keywords_print_no_results(self, capsys):
+        exit_code = main(["search", "protein", "zzzznothingmatchesthis"])
+        assert exit_code == 0
+        assert "no results" in capsys.readouterr().out
+
+
+class TestServeParser:
+    def test_serve_parses(self):
+        args = _build_parser().parse_args(
+            ["serve", "--queries", "50", "--mode", "ATC-FULL",
+             "--rate", "5", "--policy", "defer"])
+        assert args.command == "serve"
+        assert args.queries == 50
+        assert args.rate == 5.0
+        assert args.policy == "defer"
+
+    def test_serve_defaults(self):
+        args = _build_parser().parse_args(["serve"])
+        assert args.queries == 200
+        assert args.mode == "ATC-FULL"
+        assert args.corpus == "figure1"
