@@ -19,6 +19,28 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    group = parser.getgroup("sharded service bench")
+    group.addoption(
+        "--shards", type=int, default=4,
+        help="worker count for the sharded service benchmark (default 4)")
+    group.addoption(
+        "--routing", default="hash,cluster",
+        help="comma-separated routing policies the sharded benchmark "
+             "runs and compares (default hash,cluster)")
+
+
+@pytest.fixture(scope="session")
+def bench_shards(request) -> int:
+    return request.config.getoption("--shards")
+
+
+@pytest.fixture(scope="session")
+def bench_routing(request) -> list[str]:
+    return [p.strip() for p in
+            request.config.getoption("--routing").split(",") if p.strip()]
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)

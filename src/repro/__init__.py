@@ -60,6 +60,8 @@ from repro.service import (
     QService,
     ServiceConfig,
     ServiceReport,
+    ShardedQService,
+    ShardedReport,
     Ticket,
     generate_load,
 )
@@ -81,6 +83,8 @@ __all__ = [
     "QSystemEngine",
     "ServiceConfig",
     "ServiceReport",
+    "ShardedQService",
+    "ShardedReport",
     "SharingMode",
     "Ticket",
     "UserQuery",

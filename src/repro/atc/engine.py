@@ -217,6 +217,11 @@ class QSystemEngine:
         return max((g.clock.now for g in self.qs.graphs.values()),
                    default=0.0)
 
+    def total_state_size(self) -> int:
+        """Tuples stored across every plan graph (the admission
+        controller's memory gauge)."""
+        return self.qs.total_state_size()
+
     def _run_batch(self, batch: Batch) -> None:
         """Graft one batch onto its (possibly still running) graphs.
 

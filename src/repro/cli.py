@@ -81,6 +81,19 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--policy", default="reject",
                        choices=("reject", "defer"),
                        help="what to do over budget (default reject)")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="engine workers behind the router; >1 serves "
+                            "through the sharded tier (default 1)")
+    serve.add_argument("--routing", default="cluster",
+                       choices=("roundrobin", "hash", "cluster"),
+                       help="shard routing policy when --shards > 1 "
+                            "(default cluster-affinity)")
+    serve.add_argument("--cluster-jaccard", type=float, default=0.7,
+                       help="Jaccard threshold for cluster formation "
+                            "(ATC-CL graphs and the cluster router); "
+                            "looser thresholds merge everything into one "
+                            "over-shared cluster on small corpora "
+                            "(default 0.7)")
     return parser
 
 
@@ -168,6 +181,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         LoadConfig,
         QService,
         ServiceConfig,
+        ShardedQService,
         generate_load,
     )
 
@@ -185,15 +199,26 @@ def cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
     ))
     config = ExecutionConfig(mode=_mode_from_name(args.mode), k=args.k,
-                             batch_window=args.batch_window, seed=args.seed)
-    service = QService(federation, config, ServiceConfig(
+                             batch_window=args.batch_window, seed=args.seed,
+                             cluster_jaccard=args.cluster_jaccard)
+    service_config = ServiceConfig(
         cache_ttl=args.cache_ttl,
         max_in_flight=args.max_in_flight,
         admission_policy=args.policy,
-    ))
+    )
+    if args.shards < 1:
+        raise ValueError(f"--shards must be positive, got {args.shards}")
+    if args.shards > 1:
+        service = ShardedQService(federation, config, n_shards=args.shards,
+                                  routing=args.routing,
+                                  service=service_config)
+        fleet_note = f", {args.shards} shards via {args.routing}"
+    else:
+        service = QService(federation, config, service_config)
+        fleet_note = ""
     print(f"serving {len(load)} arrivals at ~{args.rate:g} q/s "
           f"({args.templates} templates, mode {args.mode}, "
-          f"corpus {args.corpus})...")
+          f"corpus {args.corpus}{fleet_note})...")
     report = service.run(load)
     print(report.render())
     return 0

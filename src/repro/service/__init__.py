@@ -8,16 +8,34 @@ backed by an answer cache for the workload's Zipf head
 (:mod:`~repro.service.admission`), tail-latency/throughput telemetry
 (:mod:`~repro.service.telemetry`), and an open-loop Poisson/Zipf load
 generator for heavy-traffic scenarios (:mod:`~repro.service.loadgen`).
+
+Scaling out, the sharded tier (:mod:`~repro.service.sharding`) runs N
+independent engine workers behind one shared answer cache, with
+pluggable shard routing (:mod:`~repro.service.routing`): round-robin,
+keyword-hash, or cluster-affinity placement that keeps queries over
+overlapping relations on the same worker.
 """
 
 from repro.service.admission import AdmissionController, AdmissionDecision
 from repro.service.cache import CacheStats, ResultCache, normalize_key
 from repro.service.loadgen import LoadConfig, generate_load
+from repro.service.routing import (
+    ClusterAffinityRouter,
+    KeywordHashRouter,
+    RoundRobinRouter,
+    RoutingPolicy,
+    make_router,
+)
 from repro.service.server import (
     QService,
     ServiceConfig,
     ServiceReport,
     Ticket,
+)
+from repro.service.sharding import (
+    RoutingStats,
+    ShardedQService,
+    ShardedReport,
 )
 from repro.service.telemetry import Telemetry, percentile
 
@@ -25,14 +43,22 @@ __all__ = [
     "AdmissionController",
     "AdmissionDecision",
     "CacheStats",
+    "ClusterAffinityRouter",
+    "KeywordHashRouter",
     "LoadConfig",
     "QService",
     "ResultCache",
+    "RoundRobinRouter",
+    "RoutingPolicy",
+    "RoutingStats",
     "ServiceConfig",
     "ServiceReport",
+    "ShardedQService",
+    "ShardedReport",
     "Telemetry",
     "Ticket",
     "generate_load",
+    "make_router",
     "normalize_key",
     "percentile",
 ]

@@ -44,11 +44,15 @@ class CacheEntry:
 
 @dataclass
 class CacheStats:
+    """Counter ledger; ``insertions - evictions - expirations -
+    overwrites`` equals the resident entry count at all times."""
+
     hits: int = 0
     misses: int = 0
     insertions: int = 0
     evictions: int = 0
     expirations: int = 0
+    overwrites: int = 0
 
     @property
     def lookups(self) -> int:
@@ -67,6 +71,7 @@ class CacheStats:
             "insertions": float(self.insertions),
             "evictions": float(self.evictions),
             "expirations": float(self.expirations),
+            "overwrites": float(self.overwrites),
             "hit_rate": self.hit_rate,
         }
 
@@ -122,6 +127,7 @@ class ResultCache:
         """Store ``answers`` under ``key``, evicting LRU entries to fit."""
         if key in self._entries:
             del self._entries[key]
+            self.stats.overwrites += 1
         self._entries[key] = CacheEntry(list(answers), now)
         self.stats.insertions += 1
         while len(self._entries) > self.capacity:

@@ -1,0 +1,173 @@
+"""Shard routing policies for the sharded serving tier.
+
+EMBANKS motivates partitioning keyword-search state across more than
+one memory arena; Qunits observes that routing semantically similar
+queries to the same unit of work is what makes cached/shared state pay
+off.  This module supplies the pluggable policies the
+:class:`~repro.service.sharding.ShardedQService` router consults:
+
+* :class:`RoundRobinRouter` -- spread arrivals evenly, ignore content.
+  The fairness baseline: maximal balance, minimal affinity (twins of an
+  in-flight query usually land on a *different* shard and cannot
+  coalesce).
+* :class:`KeywordHashRouter` -- a stable hash of the normalized keyword
+  multiset.  Repeats of one query always reach the same shard (so
+  coalescing and per-shard state reuse work for exact repeats), but two
+  *different* queries over the same relations scatter arbitrarily.
+* :class:`ClusterAffinityRouter` -- the paper's Section 6.1 clustering
+  applied to shard placement: user queries are assigned to online
+  clusters by relation-footprint Jaccard overlap
+  (:class:`~repro.optimizer.clustering.IncrementalClusterer`), and each
+  cluster is pinned to one shard.  Queries that join overlapping core
+  relations execute on the same worker and keep sharing plan-graph
+  state, which is exactly what ATC-FULL/ATC-CL sharing feeds on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Protocol, runtime_checkable
+
+from repro.keyword.queries import KeywordQuery, UserQuery
+from repro.optimizer.clustering import IncrementalClusterer
+
+
+@runtime_checkable
+class RoutingPolicy(Protocol):
+    """The contract a shard-routing policy implements.
+
+    A policy is a small, stateful strategy object the sharded service
+    consults once per admitted query (cache hits never reach it):
+
+    * ``name`` labels the policy in reports and CLI flags.
+    * ``needs_expansion`` tells the service whether :meth:`route` wants
+      the expanded :class:`~repro.keyword.queries.UserQuery` (candidate
+      networks and relation footprint).  Policies that route on the raw
+      keywords alone leave it False, and the service skips the
+      expansion work on the routing path (the chosen shard expands
+      lazily instead).
+    * ``route(kq, uq, n_shards)`` returns the target shard index in
+      ``range(n_shards)``.  ``uq`` is the expanded user query when
+      ``needs_expansion`` is set and expansion succeeded, else ``None``.
+      A policy must tolerate ``uq=None`` (unmatchable keywords expand
+      to nothing) and must be deterministic given its own accumulated
+      state -- the differential test harness replays identical arrival
+      streams and expects identical placements.
+
+    Policies may keep internal state across calls (the cluster router
+    learns the workload's cluster structure online); they must not
+    mutate the queries they are shown.
+    """
+
+    name: str
+    needs_expansion: bool
+
+    def route(self, kq: KeywordQuery, uq: UserQuery | None,
+              n_shards: int) -> int:
+        """Pick the shard (``0 <= result < n_shards``) for one query."""
+        ...
+
+
+def stable_shard(keywords: tuple[str, ...], n_shards: int) -> int:
+    """Deterministic shard index from a keyword multiset.
+
+    Case-, order-, and duplicate-insensitive (exactly the answer
+    cache's normalization, so cache-identical queries always colocate),
+    and computed with a real digest rather than ``hash()`` so placement
+    is reproducible across interpreter runs regardless of hash
+    randomization.
+    """
+    canon = "\x1f".join(sorted({kw.lower() for kw in keywords}))
+    digest = hashlib.blake2b(canon.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % n_shards
+
+
+class RoundRobinRouter:
+    """Content-blind rotation over the shards."""
+
+    name = "roundrobin"
+    needs_expansion = False
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def route(self, kq: KeywordQuery, uq: UserQuery | None,
+              n_shards: int) -> int:
+        shard = self._next % n_shards
+        self._next += 1
+        return shard
+
+
+class KeywordHashRouter:
+    """Stable hash of the normalized keywords: repeats colocate,
+    related-but-distinct queries scatter."""
+
+    name = "hash"
+    needs_expansion = False
+
+    def route(self, kq: KeywordQuery, uq: UserQuery | None,
+              n_shards: int) -> int:
+        return stable_shard(kq.keywords, n_shards)
+
+
+class ClusterAffinityRouter:
+    """Pin each online query cluster (Section 6.1) to one shard.
+
+    The router runs its own :class:`IncrementalClusterer` over the
+    arrival stream: a new user query joins the existing cluster whose
+    accumulated relation footprint it overlaps most (Jaccard above
+    ``merge_threshold``), else founds a new cluster.  Clusters are
+    assigned to shards round-robin as they are founded, so distinct
+    subject matters spread across the fleet while overlapping queries
+    stay together and keep grafting onto the same plan graphs.
+    """
+
+    name = "cluster"
+    needs_expansion = True
+
+    def __init__(self, merge_threshold: float = 0.5,
+                 min_refs: int = 1) -> None:
+        self.clusterer = IncrementalClusterer(
+            merge_threshold=merge_threshold, min_refs=min_refs)
+        self.cluster_shards: dict[str, int] = {}
+        self._founded = 0
+
+    def route(self, kq: KeywordQuery, uq: UserQuery | None,
+              n_shards: int) -> int:
+        if uq is None or not uq.cqs:
+            # Nothing to cluster on (the shard will serve it empty or
+            # from cache); fall back to the stable keyword hash rather
+            # than polluting the clusterer with empty footprints.
+            return stable_shard(kq.keywords, n_shards)
+        cluster_id = self.clusterer.assign(uq)
+        shard = self.cluster_shards.get(cluster_id)
+        if shard is None:
+            shard = self._founded % n_shards
+            self._founded += 1
+            self.cluster_shards[cluster_id] = shard
+        return shard
+
+    def cluster_count(self) -> int:
+        return self.clusterer.cluster_count()
+
+
+#: CLI / config names for the built-in policies.
+POLICY_NAMES = ("roundrobin", "hash", "cluster")
+
+
+def make_router(policy: str | RoutingPolicy, *,
+                merge_threshold: float = 0.5,
+                min_refs: int = 1) -> RoutingPolicy:
+    """Resolve a policy name (or pass an instance through)."""
+    if not isinstance(policy, str):
+        return policy
+    if policy == "roundrobin":
+        return RoundRobinRouter()
+    if policy == "hash":
+        return KeywordHashRouter()
+    if policy == "cluster":
+        return ClusterAffinityRouter(merge_threshold=merge_threshold,
+                                     min_refs=min_refs)
+    raise ValueError(
+        f"unknown routing policy {policy!r}; expected one of "
+        f"{', '.join(POLICY_NAMES)}")

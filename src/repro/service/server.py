@@ -40,7 +40,7 @@ from repro.common.errors import QueryError
 from repro.data.database import Federation
 from repro.data.inverted import InvertedIndex
 from repro.keyword.candidates import CandidateNetworkGenerator
-from repro.keyword.queries import KeywordQuery, RankedAnswer
+from repro.keyword.queries import KeywordQuery, RankedAnswer, UserQuery
 from repro.service.admission import AdmissionController
 from repro.service.cache import CacheKey, ResultCache, normalize_key
 from repro.service.telemetry import Telemetry
@@ -69,6 +69,7 @@ class Ticket:
     arrival: float
     status: str = "pending"  # pending | in-flight | deferred | rejected | done
     via: str | None = None   # engine | cache | coalesced | empty
+    shard: int | None = None  # set by the sharded service's router
     uq_id: str | None = None
     answers: list[RankedAnswer] | None = None
     completed_at: float | None = None
@@ -105,7 +106,7 @@ class ServiceReport:
         return self.cache_stats.get("hit_rate", 0.0)
 
     @property
-    def throughput(self) -> float:
+    def throughput(self) -> float | None:
         return self.telemetry.throughput()
 
     def render(self) -> str:
@@ -126,12 +127,17 @@ class QService:
     def __init__(self, federation: Federation, config: ExecutionConfig,
                  service: ServiceConfig | None = None,
                  generator: CandidateNetworkGenerator | None = None,
-                 index: InvertedIndex | None = None) -> None:
+                 index: InvertedIndex | None = None,
+                 cache: ResultCache | None = None) -> None:
         self.service_config = service or ServiceConfig()
         self.engine = QSystemEngine(federation, config,
                                     generator=generator, index=index)
-        self.cache = ResultCache(ttl=self.service_config.cache_ttl,
-                                 capacity=self.service_config.cache_capacity)
+        # ``cache`` may be an externally owned, *shared* tier: the
+        # sharded service hands every shard the same instance, so one
+        # shard's completions serve every shard's repeats.
+        self.cache = cache if cache is not None else ResultCache(
+            ttl=self.service_config.cache_ttl,
+            capacity=self.service_config.cache_capacity)
         self.admission = AdmissionController(
             max_in_flight=self.service_config.max_in_flight,
             max_state_tuples=self.service_config.max_state_tuples,
@@ -142,12 +148,17 @@ class QService:
         self._live: dict[str, Ticket] = {}          # uq_id -> ticket
         self._inflight_keys: dict[CacheKey, str] = {}  # key -> leading uq_id
         self._followers: dict[CacheKey, list[Ticket]] = {}
-        self._deferred: deque[tuple[KeywordQuery, Ticket]] = deque()
+        #: Parked queries awaiting budget: (kq, ticket, pre-expanded uq
+        #: if the caller supplied one -- retries must not re-expand).
+        self._deferred: deque[tuple[KeywordQuery, Ticket,
+                                    UserQuery | None]] = deque()
         self._now = 0.0
 
     # -- intake ---------------------------------------------------------------
 
-    def submit(self, kq: KeywordQuery, arrival: float | None = None) -> Ticket:
+    def submit(self, kq: KeywordQuery, arrival: float | None = None, *,
+               uq: UserQuery | None = None,
+               check_cache: bool = True) -> Ticket:
         """Admit one keyword query at its (virtual) arrival instant.
 
         Execution first advances to the arrival -- queries admitted
@@ -155,6 +166,11 @@ class QService:
         new query is served from the cache, coalesced onto an identical
         in-flight query, admitted to the engine, deferred, or shed,
         in that order of preference.
+
+        ``uq`` passes a pre-expanded user query (the sharded router
+        expands once to read the relation footprint); ``check_cache=
+        False`` skips the answer-cache lookup when a front tier already
+        performed it, so one user-facing lookup is counted exactly once.
         """
         at = kq.arrival if arrival is None else arrival
         at = max(at, self._now)
@@ -164,12 +180,12 @@ class QService:
         self.telemetry.record_arrival(at)
         self.step(at)
 
-        if self._serve_fast(ticket, at):
+        if self._serve_fast(ticket, at, check_cache=check_cache):
             return ticket
 
         decision = self.admission.decide(
             in_flight=len(self._live),
-            state_tuples=self.engine.qs.total_state_size(),
+            state_tuples=self.engine.total_state_size(),
         )
         if decision.action == "reject":
             ticket.status = "rejected"
@@ -179,24 +195,26 @@ class QService:
         if decision.action == "defer":
             ticket.status = "deferred"
             ticket.reason = decision.reason
-            self._deferred.append((kq, ticket))
+            self._deferred.append((kq, ticket, uq))
             self.telemetry.record_deferral()
             return ticket
-        self._start(kq, ticket, at)
+        self._start(kq, ticket, at, uq=uq)
         return ticket
 
     def _serve_fast(self, ticket: Ticket, at: float,
-                    record: bool = True) -> bool:
+                    record: bool = True, check_cache: bool = True) -> bool:
         """Try the two no-execution paths: answer cache, then
         coalescing onto an identical in-flight query.
 
         Used on first admission and again on every deferred retry (a
         parked query's twin may have completed meanwhile).  Retries
         pass ``record=False`` so their per-step polling does not
-        inflate the cache's user-facing miss count.
+        inflate the cache's user-facing miss count; a front tier that
+        already looked the key up passes ``check_cache=False``.
         """
         key = normalize_key(ticket.keywords, ticket.k)
-        cached = self.cache.get(key, now=at, record=record)
+        cached = self.cache.get(key, now=at, record=record) \
+            if check_cache else None
         if cached is not None:
             if not record:
                 # The serve is real even though the poll was silent;
@@ -218,10 +236,15 @@ class QService:
             return True
         return False
 
-    def _start(self, kq: KeywordQuery, ticket: Ticket, at: float) -> None:
-        """Expand and hand one admitted query to the engine."""
+    def _start(self, kq: KeywordQuery, ticket: Ticket, at: float,
+               uq: UserQuery | None = None) -> None:
+        """Expand (unless pre-expanded) and hand one admitted query to
+        the engine."""
         try:
-            uq = self.engine.generator.generate(replace(kq, arrival=at))
+            if uq is None:
+                uq = self.engine.generator.generate(replace(kq, arrival=at))
+            elif uq.arrival != at:
+                uq = replace(uq, arrival=at, cqs=list(uq.cqs))
         except QueryError as exc:
             self._finish_empty(ticket, at, str(exc))
             return
@@ -248,6 +271,12 @@ class QService:
 
     # -- progress --------------------------------------------------------------
 
+    @property
+    def in_flight_count(self) -> int:
+        """Queries admitted to the engine and not yet completed (the
+        router's load gauge, and the admission controller's)."""
+        return len(self._live)
+
     def step(self, until: float) -> None:
         """Advance virtual time: execute, harvest completions, retry
         deferred queries against the freed budget."""
@@ -258,11 +287,14 @@ class QService:
 
     def drain(self) -> ServiceReport:
         """Finish every admitted query (deferred ones included) and
-        return the serving report."""
+        return the serving report.  The service clock catches up to the
+        drained engine's, so later submissions cannot arrive in the
+        past of already-recorded completions."""
         while True:
             self.engine.drain()
             self._harvest()
             if not self._deferred:
+                self._now = max(self._now, self.engine.virtual_now())
                 break
             self._now = max(self._now, self.engine.virtual_now())
             self._retry_deferred(self._now)
@@ -271,7 +303,7 @@ class QService:
                 # state gauge alone is over budget, so deferral can
                 # never clear -- shed the stragglers rather than spin.
                 while self._deferred:
-                    kq, ticket = self._deferred.popleft()
+                    kq, ticket, _uq = self._deferred.popleft()
                     ticket.status = "rejected"
                     ticket.reason = "deferred past drain; state budget " \
                                     "never freed"
@@ -341,15 +373,15 @@ class QService:
         freed, keep parked otherwise.  Uses the admission controller's
         silent gauge check, so retry attempts never inflate its
         per-query decision counters."""
-        still: deque[tuple[KeywordQuery, Ticket]] = deque()
+        still: deque[tuple[KeywordQuery, Ticket, UserQuery | None]] = deque()
         while self._deferred:
-            kq, ticket = self._deferred.popleft()
+            kq, ticket, uq = self._deferred.popleft()
             if self._serve_fast(ticket, at, record=False):
                 continue
             if not self.admission.would_admit(
                     in_flight=len(self._live),
-                    state_tuples=self.engine.qs.total_state_size()):
-                still.append((kq, ticket))
+                    state_tuples=self.engine.total_state_size()):
+                still.append((kq, ticket, uq))
                 continue
-            self._start(kq, ticket, at)
+            self._start(kq, ticket, at, uq=uq)
         self._deferred = still

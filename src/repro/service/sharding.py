@@ -1,0 +1,283 @@
+"""The sharded serving tier: N independent engine workers, one router.
+
+A single :class:`~repro.service.server.QService` is one memory arena
+and one set of plan-graph clocks; the ROADMAP's "heavy traffic" target
+needs a *fleet*.  :class:`ShardedQService` runs ``n_shards`` fully
+independent workers (each its own :class:`~repro.atc.engine.
+QSystemEngine`, admission controller, and telemetry) behind a single
+front door:
+
+1. the **shared answer cache** sits in front of the router: a repeat of
+   any query already answered by *any* shard is served at the front
+   door without routing, expansion, or engine work;
+2. on a miss, the **router** (:mod:`repro.service.routing`) picks the
+   shard -- round-robin, keyword-hash, or cluster-affinity placement,
+   which keeps queries over overlapping core relations on the same
+   worker so ATC sharing keeps paying across the fleet;
+3. **shard-aware admission**: each worker carries its own in-flight
+   budget; when the routed shard is saturated the front door *spills
+   over* to the least-loaded shard with headroom (affinity is a
+   preference, shedding load is not), and only when the whole fleet is
+   saturated does the worker's configured policy reject or defer;
+4. per-shard telemetry aggregates into **fleet-level** p50/p95/p99 and
+   throughput over the union of all latency samples
+   (:meth:`~repro.service.telemetry.Telemetry.merged`).
+
+All workers advance on the same virtual arrival clock: every submit
+steps every shard to the arrival instant, so shard clocks stay mutually
+consistent and the shared cache's TTL is meaningful fleet-wide.
+
+Typical use::
+
+    fleet = ShardedQService(federation, config, n_shards=4,
+                            routing="cluster")
+    report = fleet.run(generate_load(federation, LoadConfig(...)))
+    print(report.render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.common.config import ExecutionConfig
+from repro.common.errors import QueryError
+from repro.data.database import Federation
+from repro.data.inverted import InvertedIndex
+from repro.keyword.candidates import CandidateNetworkGenerator
+from repro.keyword.queries import KeywordQuery, UserQuery
+from repro.service.cache import ResultCache, normalize_key
+from repro.service.routing import RoutingPolicy, make_router
+from repro.service.server import (
+    QService,
+    ServiceConfig,
+    ServiceReport,
+    Ticket,
+)
+from repro.service.telemetry import Telemetry
+from repro.stats.metrics import Metrics
+
+
+@dataclass
+class RoutingStats:
+    """Where the router actually sent the traffic."""
+
+    policy: str
+    routed: list[int]
+    spillovers: int = 0
+    front_cache_hits: int = 0
+
+    def snapshot(self) -> dict[str, float]:
+        out = {f"shard{i}_routed": float(n)
+               for i, n in enumerate(self.routed)}
+        out["spillovers"] = float(self.spillovers)
+        out["front_cache_hits"] = float(self.front_cache_hits)
+        return out
+
+
+@dataclass
+class ShardedReport:
+    """One fleet run: per-shard reports plus the aggregate view.
+
+    The answer cache is a single shared tier, so each shard report's
+    ``cache_stats`` is the same fleet-wide snapshot (also exposed here
+    as :attr:`cache_stats`); per-shard cache effectiveness is not a
+    meaningful quantity in this architecture.
+    """
+
+    fleet: Telemetry
+    shard_reports: list[ServiceReport]
+    cache_stats: dict[str, float]
+    routing: RoutingStats
+    tickets: list[Ticket] = field(default_factory=list)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_stats.get("hit_rate", 0.0)
+
+    @property
+    def throughput(self) -> float | None:
+        return self.fleet.throughput()
+
+    def merged_engine_metrics(self) -> Metrics:
+        """Execution-work counters summed across every shard's engine
+        (the bench's shared-work gauge: fewer input tuples for the same
+        answers means more sharing)."""
+        merged = Metrics()
+        for report in self.shard_reports:
+            merged.merge_from(report.engine_report.metrics)
+        return merged
+
+    def render(self) -> str:
+        metrics = self.merged_engine_metrics()
+        lines = [
+            self.fleet.render(cache_hit_rate=self.cache_hit_rate),
+            f"fleet     : {len(self.shard_reports)} shards "
+            f"({self.routing.policy} routing), per-shard load "
+            f"{self.routing.routed}, {self.routing.spillovers} spill-overs, "
+            f"{self.routing.front_cache_hits} front-door cache hits",
+            f"engine    : {metrics.stream_tuples_read} stream reads + "
+            f"{metrics.probes_performed} probes "
+            f"({metrics.probe_cache_hits} probe-cache hits, "
+            f"{metrics.evictions} evictions)",
+        ]
+        for i, report in enumerate(self.shard_reports):
+            tel = report.telemetry
+            lines.append(
+                f"  shard {i}: {tel.completed}/{tel.submitted} served, "
+                f"{report.engine_report.metrics.total_input_tuples} "
+                f"input tuples")
+        return "\n".join(lines)
+
+
+class ShardedQService:
+    """Front door over ``n_shards`` independent :class:`QService`
+    workers with pluggable shard routing."""
+
+    def __init__(self, federation: Federation, config: ExecutionConfig,
+                 n_shards: int = 2,
+                 routing: str | RoutingPolicy = "cluster",
+                 service: ServiceConfig | None = None,
+                 spill_over: bool = True,
+                 generator: CandidateNetworkGenerator | None = None,
+                 index: InvertedIndex | None = None) -> None:
+        if n_shards <= 0:
+            raise ValueError(f"n_shards must be positive, got {n_shards}")
+        self.n_shards = n_shards
+        self.service_config = service or ServiceConfig()
+        self.spill_over = spill_over
+        self.index = index if index is not None else InvertedIndex(federation)
+        # One expansion pipeline for the whole fleet: the router may
+        # need the candidate networks before placement, and shards
+        # should not each rebuild the inverted index.
+        self.generator = generator or CandidateNetworkGenerator(
+            federation, index=self.index, max_cqs=config.max_cqs_per_uq)
+        self.cache = ResultCache(ttl=self.service_config.cache_ttl,
+                                 capacity=self.service_config.cache_capacity)
+        self.router = make_router(
+            routing,
+            merge_threshold=config.cluster_jaccard,
+            min_refs=config.cluster_min_refs,
+        )
+        self.workers = [
+            QService(federation, config, service=self.service_config,
+                     generator=self.generator, index=self.index,
+                     cache=self.cache)
+            for _ in range(n_shards)
+        ]
+        #: Front-door telemetry: arrivals served by the shared cache
+        #: tier never reach a shard, so their latencies live here.
+        self.telemetry = Telemetry()
+        self.routing_stats = RoutingStats(policy=self.router.name,
+                                          routed=[0] * n_shards)
+        self.tickets: list[Ticket] = []
+        self._now = 0.0
+
+    # -- intake ---------------------------------------------------------------
+
+    def submit(self, kq: KeywordQuery, arrival: float | None = None) -> Ticket:
+        """Admit one query at its virtual arrival: advance every shard
+        to that instant, try the shared cache, then route."""
+        at = kq.arrival if arrival is None else arrival
+        at = max(at, self._now)
+        self.step(at)
+
+        key = normalize_key(kq.keywords, kq.k)
+        cached = self.cache.get(key, now=at)
+        if cached is not None:
+            self.routing_stats.front_cache_hits += 1
+            self.telemetry.record_cache_hit()
+            return self._serve_at_front_door(kq, at, via="cache",
+                                             answers=list(cached))
+
+        uq: UserQuery | None = None
+        if self.router.needs_expansion:
+            try:
+                uq = self.generator.generate(replace(kq, arrival=at))
+            except QueryError as exc:
+                # Unmatchable keywords: serve the empty answer at the
+                # front door rather than routing a query the worker
+                # would only re-expand to re-discover the failure.
+                self.telemetry.record_no_results()
+                return self._serve_at_front_door(kq, at, via="empty",
+                                                 answers=[],
+                                                 reason=str(exc))
+        shard = self.router.route(kq, uq, self.n_shards)
+        shard = self._spill(shard)
+        self.routing_stats.routed[shard] += 1
+        ticket = self.workers[shard].submit(kq, arrival=at, uq=uq,
+                                            check_cache=False)
+        ticket.shard = shard
+        self.tickets.append(ticket)
+        return ticket
+
+    def _serve_at_front_door(self, kq: KeywordQuery, at: float, via: str,
+                             answers: list, reason: str = "") -> Ticket:
+        """Resolve one arrival without routing: a done ticket with the
+        front door's telemetry bookkeeping (zero latency -- the query
+        never waited on any engine)."""
+        ticket = Ticket(kq_id=kq.kq_id, keywords=tuple(kq.keywords),
+                        k=kq.k, arrival=at, status="done", via=via,
+                        answers=answers, completed_at=at, reason=reason)
+        self.tickets.append(ticket)
+        self.telemetry.record_arrival(at)
+        self.telemetry.record_completion(at, 0.0)
+        return ticket
+
+    def _spill(self, shard: int) -> int:
+        """Shard-aware admission: prefer the routed shard, but when its
+        in-flight budget is exhausted hand the query to the least-loaded
+        shard with headroom instead of shedding it.  Returns the routed
+        shard unchanged when the whole fleet is saturated -- that
+        worker's own policy then rejects or defers."""
+        budget = self.service_config.max_in_flight
+        if not self.spill_over or budget is None:
+            return shard
+        if self.workers[shard].in_flight_count < budget:
+            return shard
+        best = min(range(self.n_shards),
+                   key=lambda i: (self.workers[i].in_flight_count, i))
+        if best != shard and self.workers[best].in_flight_count < budget:
+            self.routing_stats.spillovers += 1
+            return best
+        return shard
+
+    # -- progress --------------------------------------------------------------
+
+    def step(self, until: float) -> None:
+        """Advance every shard's virtual time in lockstep; completions
+        harvested anywhere land in the shared cache immediately."""
+        self._now = max(self._now, until)
+        for worker in self.workers:
+            worker.step(self._now)
+
+    def drain(self) -> ShardedReport:
+        """Finish every admitted query on every shard and return the
+        fleet report.  Shards drain in order, so a shard's completions
+        populate the shared cache before later shards retry their
+        deferred queries.  The fleet clock catches up to the
+        furthest-ahead drained shard, so post-drain submissions are
+        clamped past everything already recorded (and past the shared
+        cache's newest entries)."""
+        for worker in self.workers:
+            worker.drain()
+        self._now = max([self._now] + [w.engine.virtual_now()
+                                       for w in self.workers])
+        return self.report()
+
+    def report(self) -> ShardedReport:
+        shard_reports = [worker.report() for worker in self.workers]
+        fleet = Telemetry.merged(
+            [self.telemetry] + [worker.telemetry for worker in self.workers])
+        return ShardedReport(
+            fleet=fleet,
+            shard_reports=shard_reports,
+            cache_stats=self.cache.stats.snapshot(),
+            routing=self.routing_stats,
+            tickets=list(self.tickets),
+        )
+
+    def run(self, load: list[KeywordQuery]) -> ShardedReport:
+        """Serve one open-loop arrival stream end to end."""
+        for kq in sorted(load, key=lambda q: q.arrival):
+            self.submit(kq)
+        return self.drain()

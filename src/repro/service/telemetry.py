@@ -7,26 +7,34 @@ create.  :class:`Telemetry` accumulates one latency sample per served
 query (arrival to answer, in virtual seconds; cache hits count at their
 actual -- near zero -- latency) plus the admission/caching counters,
 and renders the operator's one-screen summary.
+
+Boundary contract: a statistic that is *undefined* -- a percentile or
+mean over zero samples, a throughput with zero completions -- is
+uniformly ``None``, never a silent ``0.0`` or NaN, so snapshot
+consumers can distinguish "no data yet" from "measured zero".  A
+single-sample window is defined: every percentile *is* that sample.
 """
 
 from __future__ import annotations
 
 import math
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
 
-def percentile(samples: Sequence[float], pct: float) -> float:
+def percentile(samples: Sequence[float], pct: float) -> float | None:
     """Linear-interpolation percentile (numpy's default method).
 
-    ``pct`` is in [0, 100].  Returns NaN for an empty sample set
-    rather than raising: a telemetry line with no completions yet is a
-    normal serving condition, not an error.
+    ``pct`` is in [0, 100].  Returns ``None`` for an empty sample set
+    rather than raising or yielding NaN: a telemetry line with no
+    completions yet is a normal serving condition, not an error, and
+    ``None`` cannot be confused with a measured 0.0 latency.  With a
+    single sample every percentile is that sample.
     """
     if not 0.0 <= pct <= 100.0:
         raise ValueError(f"pct must lie in [0, 100], got {pct}")
     if not samples:
-        return float("nan")
+        return None
     ordered = sorted(samples)
     if len(ordered) == 1:
         return ordered[0]
@@ -94,18 +102,46 @@ class Telemetry:
     def record_no_results(self) -> None:
         self.no_results += 1
 
+    # -- merging -------------------------------------------------------------
+
+    @classmethod
+    def merged(cls, parts: Iterable["Telemetry"]) -> "Telemetry":
+        """Fleet-level aggregate of several shards' telemetries.
+
+        Latency samples concatenate (percentiles over the union are the
+        true fleet distribution), counters add, and the serving window
+        spans the earliest first arrival to the latest event anywhere.
+        """
+        out = cls()
+        for part in parts:
+            out.latencies.extend(part.latencies)
+            out.submitted += part.submitted
+            out.completed += part.completed
+            out.served_from_cache += part.served_from_cache
+            out.coalesced += part.coalesced
+            out.rejected += part.rejected
+            out.deferred += part.deferred
+            out.no_results += part.no_results
+            if part.first_arrival is not None and (
+                    out.first_arrival is None
+                    or part.first_arrival < out.first_arrival):
+                out.first_arrival = part.first_arrival
+            out.last_event = max(out.last_event, part.last_event)
+        return out
+
     # -- derived ---------------------------------------------------------------
 
-    def latency_percentiles(self) -> dict[str, float]:
+    def latency_percentiles(self) -> dict[str, float | None]:
         return {
             "p50": percentile(self.latencies, 50.0),
             "p95": percentile(self.latencies, 95.0),
             "p99": percentile(self.latencies, 99.0),
         }
 
-    def mean_latency(self) -> float:
+    def mean_latency(self) -> float | None:
+        """Mean latency over the window, or ``None`` with no samples."""
         if not self.latencies:
-            return float("nan")
+            return None
         return sum(self.latencies) / len(self.latencies)
 
     def elapsed(self) -> float:
@@ -114,16 +150,22 @@ class Telemetry:
             return 0.0
         return max(self.last_event - self.first_arrival, 0.0)
 
-    def throughput(self) -> float:
-        """Completed queries per virtual second over the serving window."""
+    def throughput(self) -> float | None:
+        """Completed queries per virtual second over the serving window.
+
+        ``None`` before any completion (a rate over an empty window is
+        undefined, not zero); ``inf`` when completions exist but the
+        window has zero width (everything served at the first arrival
+        instant).
+        """
         if self.completed == 0:
-            return 0.0
+            return None
         span = self.elapsed()
         if span <= 0.0:
             return float("inf")
         return self.completed / span
 
-    def summary(self) -> dict[str, float]:
+    def summary(self) -> dict[str, float | None]:
         out = {
             "submitted": float(self.submitted),
             "completed": float(self.completed),
@@ -147,12 +189,22 @@ class Telemetry:
             f"({self.served_from_cache} from cache, "
             f"{self.coalesced} coalesced, {self.rejected} rejected, "
             f"{self.deferred} deferred, {self.no_results} empty)",
-            f"latency   : p50 {pcts['p50']:.3f}s  p95 {pcts['p95']:.3f}s  "
-            f"p99 {pcts['p99']:.3f}s  (mean {self.mean_latency():.3f}s, "
-            f"virtual)",
-            f"throughput: {self.throughput():.2f} queries/virtual s "
-            f"over {self.elapsed():.1f}s",
+            f"latency   : p50 {fmt_stat(pcts['p50'], 's')}  "
+            f"p95 {fmt_stat(pcts['p95'], 's')}  "
+            f"p99 {fmt_stat(pcts['p99'], 's')}  "
+            f"(mean {fmt_stat(self.mean_latency(), 's')}, virtual)",
+            f"throughput: {fmt_stat(self.throughput(), '', 2)} "
+            f"queries/virtual s over {self.elapsed():.1f}s",
         ]
         if cache_hit_rate is not None:
             lines.append(f"cache     : {cache_hit_rate:.1%} hit rate")
         return "\n".join(lines)
+
+
+def fmt_stat(value: float | None, suffix: str = "", digits: int = 3) -> str:
+    """Render one telemetry statistic; undefined (``None``) prints n/a."""
+    if value is None:
+        return "n/a"
+    if math.isinf(value):
+        return f"inf{suffix}"
+    return f"{value:.{digits}f}{suffix}"

@@ -113,6 +113,69 @@ class TestPopReady:
         assert len(set(indices)) == len(indices)
 
 
+class TestPopReadyEdges:
+    """Boundary behaviour of the online batch-closing rules."""
+
+    def test_window_expiry_exactly_at_boundary_keeps_collecting(self, fed):
+        # The window is inclusive: at now == opened_at + window the
+        # batch is still collecting (expiry needs now to *pass* it).
+        batcher = QueryBatcher(batch_size=5, window=10)
+        batcher.submit(make_uq("u1", 2.0, fed))
+        assert batcher.pop_ready(now=12.0) == []
+        assert batcher.pending_count == 1
+        batches = batcher.pop_ready(now=12.0 + 1e-9)
+        assert [len(b.uqs) for b in batches] == [1]
+        assert batches[0].dispatch_time == 12.0
+
+    def test_member_arriving_exactly_at_window_edge_joins(self, fed):
+        # An arrival exactly ``window`` after the opener still belongs
+        # to the batch (the split needs a gap strictly beyond it).
+        batcher = QueryBatcher(batch_size=5, window=10)
+        batcher.submit(make_uq("u1", 0.0, fed))
+        batcher.submit(make_uq("u2", 10.0, fed))
+        assert batcher.pop_ready(now=10.0) == []  # window still open
+        batches = batcher.pop_ready(now=10.1)     # ...now expired
+        assert [u.uq_id for b in batches for u in b.uqs] == ["u1", "u2"]
+        assert batches[0].dispatch_time == 10.0   # closed by expiry
+
+    def test_simultaneous_size_and_window_trigger(self, fed):
+        # The closing member arrives exactly when the window expires:
+        # the size rule wins and the batch dispatches at that arrival,
+        # not at the (equal) expiry instant -- and never twice.
+        batcher = QueryBatcher(batch_size=2, window=10)
+        batcher.submit(make_uq("u1", 0.0, fed))
+        batcher.submit(make_uq("u2", 10.0, fed))
+        batches = batcher.pop_ready(now=10.0)
+        assert [len(b.uqs) for b in batches] == [2]
+        assert batches[0].closed_at is None       # closed by size
+        assert batches[0].dispatch_time == 10.0
+        assert batcher.pop_ready(now=30.0) == []  # nothing left behind
+
+    def test_size_trigger_with_expired_window_in_one_call(self, fed):
+        # One call observes both a window-expired partial batch and a
+        # size-closed one; each keeps its own dispatch rule.
+        batcher = QueryBatcher(batch_size=2, window=5)
+        batcher.submit(make_uq("u1", 0.0, fed))
+        batcher.submit(make_uq("u2", 20.0, fed))
+        batcher.submit(make_uq("u3", 21.0, fed))
+        batches = batcher.pop_ready(now=25.0)
+        assert [len(b.uqs) for b in batches] == [1, 2]
+        assert batches[0].dispatch_time == 5.0    # expiry of u1's window
+        assert batches[1].dispatch_time == 21.0   # u3 filled the batch
+        assert batcher.pending_count == 0
+
+    def test_pop_ready_with_empty_pending_queue(self, fed):
+        batcher = QueryBatcher(batch_size=2, window=10)
+        assert batcher.pop_ready(now=100.0) == []
+        assert batcher.pending_count == 0
+        # Draining right after an empty pop is also a no-op.
+        assert batcher.drain() == []
+        # And an empty pop between real traffic leaves state intact.
+        batcher.submit(make_uq("u1", 200.0, fed))
+        assert batcher.pop_ready(now=150.0) == []   # u1 not yet arrived
+        assert batcher.pending_count == 1
+
+
 class TestMetrics:
     def test_record_stream_read(self):
         metrics = Metrics()

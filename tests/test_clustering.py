@@ -1,9 +1,15 @@
 """Tests for Section 6.1 user-query clustering."""
 
+import functools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.keyword.queries import UserQuery
 from repro.optimizer.clustering import (
     IncrementalClusterer,
     cluster_user_queries,
+    core_relations,
     jaccard,
 )
 
@@ -106,3 +112,97 @@ class TestIncrementalClusterer:
         g1 = clusterer.assign(make_uq("u1", [["A", "B"]], fed))
         clusterer.assign(make_uq("u2", [["A", "B", "C"]], fed))
         assert clusterer.footprints[g1] == {"A", "B", "C"}
+
+
+# -- property-based invariants (hypothesis) --------------------------------
+
+@functools.lru_cache(maxsize=1)
+def _fed():
+    return load_triple_federation()
+
+
+#: Small-universe sets so overlap/degenerate cases are common.
+footprints = st.sets(st.sampled_from(("A", "B", "C", "D", "E")), max_size=5)
+
+#: One user query = 1..3 candidate networks over {A, B, C} chains.
+alias_lists = st.lists(
+    st.sampled_from(
+        (["A"], ["B"], ["C"], ["A", "B"], ["B", "C"], ["A", "B", "C"])),
+    min_size=1, max_size=3,
+)
+workloads = st.lists(alias_lists, min_size=1, max_size=5)
+
+
+class TestJaccardProperties:
+    @given(a=footprints, b=footprints)
+    @settings(max_examples=200, deadline=None)
+    def test_bounds_and_symmetry(self, a, b):
+        similarity = jaccard(a, b)
+        assert 0.0 <= similarity <= 1.0
+        assert similarity == jaccard(b, a)
+
+    @given(a=footprints)
+    @settings(max_examples=50, deadline=None)
+    def test_self_similarity(self, a):
+        # Identity for anything nonempty; empty sets are defined as 0.
+        assert jaccard(a, a) == (1.0 if a else 0.0)
+
+    @given(a=footprints, b=footprints)
+    @settings(max_examples=100, deadline=None)
+    def test_one_iff_equal_nonempty(self, a, b):
+        assert (jaccard(a, b) == 1.0) == (bool(a) and a == b)
+
+
+class TestAssignProperties:
+    @given(workload=workloads,
+           threshold=st.floats(min_value=0.1, max_value=1.0,
+                               allow_nan=False),
+           seed=st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_assign_stable_under_cq_permutation(self, workload, threshold,
+                                                seed):
+        """A user query's cluster depends on its relation *footprint*,
+        never on the order its candidate networks were enumerated in."""
+        fed = _fed()
+        forward = IncrementalClusterer(merge_threshold=threshold,
+                                       min_refs=0)
+        permuted = IncrementalClusterer(merge_threshold=threshold,
+                                        min_refs=0)
+        for i, aliases_list in enumerate(workload):
+            uq_a = make_uq(f"u{i}", aliases_list, fed)
+            shuffled = list(aliases_list)
+            seed.shuffle(shuffled)
+            uq_b = make_uq(f"u{i}", shuffled, fed)
+            assert core_relations(uq_a, 0) == core_relations(uq_b, 0)
+            assert forward.assign(uq_a) == permuted.assign(uq_b)
+
+    @given(aliases_list=alias_lists,
+           threshold=st.floats(min_value=0.1, max_value=1.0,
+                               allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_reassigning_identical_query_is_stable(self, aliases_list,
+                                                   threshold):
+        """An identical footprint submitted again lands on the cluster
+        its twin founded (similarity 1 >= any threshold)."""
+        fed = _fed()
+        clusterer = IncrementalClusterer(merge_threshold=threshold,
+                                         min_refs=0)
+        first = clusterer.assign(make_uq("u1", aliases_list, fed))
+        second = clusterer.assign(make_uq("u2", aliases_list, fed))
+        assert first == second
+
+    @given(workload=workloads,
+           threshold=st.floats(min_value=0.1, max_value=1.0,
+                               allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_footprint_is_union_of_members(self, workload, threshold):
+        fed = _fed()
+        clusterer = IncrementalClusterer(merge_threshold=threshold,
+                                         min_refs=0)
+        expected: dict = {}
+        for i, aliases_list in enumerate(workload):
+            uq = make_uq(f"u{i}", aliases_list, fed)
+            graph_id = clusterer.assign(uq)
+            expected.setdefault(graph_id, set()).update(
+                core_relations(uq, 0))
+        assert clusterer.footprints == expected

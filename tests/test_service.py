@@ -67,11 +67,16 @@ def answer(score, cq="c1"):
 
 
 class TestPercentile:
-    def test_empty_is_nan(self):
-        assert math.isnan(percentile([], 50.0))
+    def test_empty_is_none(self):
+        # The boundary contract: undefined statistics are None, never a
+        # silent 0.0 or NaN that could be mistaken for a measurement.
+        assert percentile([], 50.0) is None
+        assert percentile([], 0.0) is None
+        assert percentile([], 100.0) is None
 
-    def test_single_sample(self):
-        assert percentile([3.5], 99.0) == 3.5
+    def test_single_sample_is_every_percentile(self):
+        for pct in (0.0, 50.0, 95.0, 99.0, 100.0):
+            assert percentile([3.5], pct) == 3.5
 
     def test_median_interpolates(self):
         assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == pytest.approx(2.5)
@@ -102,10 +107,32 @@ class TestTelemetry:
         assert t.elapsed() == pytest.approx(10.0)
         assert t.throughput() == pytest.approx(0.2)
 
-    def test_no_completions(self):
+    def test_no_completions_is_uniformly_none(self):
         t = Telemetry()
-        assert t.throughput() == 0.0
-        assert math.isnan(t.latency_percentiles()["p50"])
+        assert t.throughput() is None
+        assert t.mean_latency() is None
+        assert all(v is None for v in t.latency_percentiles().values())
+        summary = t.summary()
+        assert summary["throughput_qps"] is None
+        assert summary["p50"] is None
+        assert summary["completed"] == 0.0   # a measured zero stays 0.0
+        assert not any(v is not None and math.isnan(v)
+                       for v in summary.values())
+
+    def test_single_sample_window_is_defined(self):
+        t = Telemetry()
+        t.record_arrival(1.0)
+        t.record_completion(3.0, 2.0)
+        pcts = t.latency_percentiles()
+        assert pcts["p50"] == pcts["p95"] == pcts["p99"] == 2.0
+        assert t.mean_latency() == 2.0
+        assert t.throughput() == pytest.approx(0.5)
+
+    def test_zero_width_window_with_completion_is_inf(self):
+        t = Telemetry()
+        t.record_arrival(1.0)
+        t.record_completion(1.0, 0.0)
+        assert t.throughput() == float("inf")
 
     def test_render_mentions_percentiles(self):
         t = Telemetry()
@@ -115,9 +142,35 @@ class TestTelemetry:
         for token in ("p50", "p95", "p99", "throughput", "hit rate"):
             assert token in text
 
+    def test_render_empty_window_prints_na(self):
+        text = Telemetry().render()
+        assert "n/a" in text
+        assert "nan" not in text
+
     def test_negative_latency_rejected(self):
         with pytest.raises(ValueError):
             Telemetry().record_completion(1.0, -0.1)
+
+    def test_merged_aggregates_shards(self):
+        a, b, c = Telemetry(), Telemetry(), Telemetry()
+        a.record_arrival(0.0)
+        a.record_completion(2.0, 2.0)
+        b.record_arrival(1.0)
+        b.record_completion(9.0, 8.0)
+        b.record_rejection()
+        fleet = Telemetry.merged([a, b, c])
+        assert fleet.submitted == 2
+        assert fleet.completed == 2
+        assert fleet.rejected == 1
+        assert sorted(fleet.latencies) == [2.0, 8.0]
+        assert fleet.first_arrival == 0.0
+        assert fleet.elapsed() == pytest.approx(9.0)
+        assert fleet.throughput() == pytest.approx(2 / 9)
+
+    def test_merged_of_empties_is_empty(self):
+        fleet = Telemetry.merged([Telemetry(), Telemetry()])
+        assert fleet.submitted == 0
+        assert fleet.throughput() is None
 
 
 class TestResultCache:

@@ -1,0 +1,120 @@
+"""Property-based tests (hypothesis) for the answer cache.
+
+The cache sits in front of every engine (and, sharded, in front of the
+router), so its invariants are load-bearing for the whole serving tier:
+
+* capacity is a hard bound -- no operation sequence ever leaves more
+  than ``capacity`` entries resident;
+* a lookup hits iff an *identical normalized* key (case- and
+  order-insensitive keywords plus ``k``) was stored within ``ttl``
+  virtual seconds and was neither overwritten away nor LRU-evicted;
+* normalization itself is invariant under keyword permutation/case and
+  strict in ``k``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.keyword.queries import RankedAnswer
+from repro.service.cache import ResultCache, normalize_key
+
+#: Tiny keyword universe so sequences collide constantly.
+WORDS = ("gene", "protein", "membrane", "kinase")
+
+keys = st.tuples(
+    st.lists(st.sampled_from(WORDS), min_size=1, max_size=2, unique=True),
+    st.integers(min_value=1, max_value=3),
+)
+
+#: One cache op: (kind, key, virtual-time gap since the previous op).
+ops = st.lists(
+    st.tuples(st.sampled_from(("put", "get")), keys,
+              st.floats(min_value=0.0, max_value=4.0, allow_nan=False)),
+    min_size=1, max_size=40,
+)
+
+
+def payload(i: int) -> list[RankedAnswer]:
+    """A distinguishable answer list (the insertion index is the marker)."""
+    return [RankedAnswer("u", "c", float(i), frozenset())]
+
+
+class TestCacheProperties:
+    @given(ops=ops, capacity=st.integers(min_value=1, max_value=3),
+           ttl=st.floats(min_value=0.5, max_value=6.0, allow_nan=False))
+    @settings(max_examples=150, deadline=None)
+    def test_capacity_never_exceeded(self, ops, capacity, ttl):
+        cache = ResultCache(ttl=ttl, capacity=capacity)
+        now = 0.0
+        for i, (kind, (words, k), gap) in enumerate(ops):
+            now += gap
+            key = normalize_key(words, k)
+            if kind == "put":
+                cache.put(key, payload(i), now=now)
+            else:
+                cache.get(key, now=now)
+            assert len(cache) <= capacity
+        # Book-keeping closes: residents = insertions - every removal.
+        stats = cache.stats
+        assert len(cache) == (stats.insertions - stats.evictions
+                              - stats.expirations - stats.overwrites)
+
+    @given(ops=ops, ttl=st.floats(min_value=0.5, max_value=6.0,
+                                  allow_nan=False))
+    @settings(max_examples=150, deadline=None)
+    def test_hit_iff_unexpired_identical_key(self, ops, ttl):
+        # Capacity exceeds the key universe, so LRU eviction is off the
+        # table and the model is exact: last put time per key.
+        cache = ResultCache(ttl=ttl, capacity=64)
+        model: dict = {}   # normalized key -> (stored_at, marker)
+        now = 0.0
+        for i, (kind, (words, k), gap) in enumerate(ops):
+            now += gap
+            key = normalize_key(words, k)
+            if kind == "put":
+                cache.put(key, payload(i), now=now)
+                model[key] = (now, float(i))
+            else:
+                got = cache.get(key, now=now)
+                if key in model and now - model[key][0] <= ttl:
+                    assert got is not None
+                    assert got[0].score == model[key][1]
+                else:
+                    assert got is None
+                    # An expired entry is dropped on observation.
+                    model.pop(key, None)
+
+    @given(words=st.lists(st.sampled_from(WORDS), min_size=1, max_size=3,
+                          unique=True),
+           k=st.integers(min_value=1, max_value=5),
+           seed=st.randoms(use_true_random=False))
+    @settings(max_examples=100, deadline=None)
+    def test_normalize_key_permutation_and_case_invariant(self, words, k,
+                                                          seed):
+        shuffled = list(words)
+        seed.shuffle(shuffled)
+        cased = [w.upper() if seed.random() < 0.5 else w for w in shuffled]
+        assert normalize_key(cased, k) == normalize_key(words, k)
+        assert normalize_key(cased, k + 1) != normalize_key(words, k)
+
+    @given(ops=ops, capacity=st.integers(min_value=1, max_value=2))
+    @settings(max_examples=100, deadline=None)
+    def test_eviction_is_lru(self, ops, capacity):
+        """With a generous TTL the resident set is exactly the
+        ``capacity`` most-recently-*used* distinct keys."""
+        cache = ResultCache(ttl=1e9, capacity=capacity)
+        recency: list = []   # least-recent first
+        now = 0.0
+        for i, (kind, (words, k), gap) in enumerate(ops):
+            now += gap
+            key = normalize_key(words, k)
+            if kind == "put":
+                cache.put(key, payload(i), now=now)
+            elif cache.get(key, now=now) is None:
+                continue   # miss: no recency update
+            if key in recency:
+                recency.remove(key)
+            recency.append(key)
+            recency[:] = recency[-capacity:]
+            assert set(recency) == {k for k in recency if k in cache}
+            assert len(cache) == len(recency)
