@@ -44,6 +44,11 @@ class ATCController:
         the next batch's dispatch time, then grafts the new queries
         onto the still-running plan graph (Section 6.2) and resumes.
         """
+        # Anything this run reads, probes, releases, or grafts changes
+        # the graph's stored-tuple count; invalidate the QS manager's
+        # cached aggregate up front (the run may return from several
+        # points below).
+        self.qs.mark_state_dirty(self.graph.graph_id)
         steps = 0
         while True:
             if deadline is not None and self.graph.clock.now >= deadline:

@@ -108,10 +108,19 @@ class QSystemEngine:
         self.cost_model = CostModel(federation, config)
         self._submitted: list[UserQuery] = []
         #: Graphs with (potentially) incomplete rank-merges.  step()
-        #: only drives these, so per-arrival work under a sustained
-        #: stream stays proportional to the *live* graphs, not to
-        #: every graph ever created (ATC-CQ makes one per user query).
+        #: and drain() only drive these, so per-arrival work under a
+        #: sustained stream stays proportional to the *live* graphs,
+        #: not to every graph ever created (ATC-CQ makes one per user
+        #: query).
         self._active_graphs: set[str] = set()
+        #: High-water mark over all plan-graph clocks, maintained as
+        #: graphs are driven so ``virtual_now`` does not rescan them.
+        self._clock_high = 0.0
+        #: Incremental report state: per-graph answer/summary snapshots,
+        #: refreshed only for graphs the QS manager marked dirty.
+        self._answers_cache: dict[str, dict[str, list[RankedAnswer]]] = {}
+        self._summary_cache: dict[str, dict] = {}
+        self._merged_metrics: Metrics | None = None
 
     # -- intake ---------------------------------------------------------------
 
@@ -145,7 +154,8 @@ class QSystemEngine:
         calls).  Calling it with nothing new submitted simply rebuilds
         the current report.
         """
-        return self.drain()
+        self.drain()
+        return self.report()
 
     def step(self, until: float) -> None:
         """Advance the engine's virtual time to ``until``.
@@ -166,34 +176,52 @@ class QSystemEngine:
             graph = self.qs.graphs[graph_id]
             ATCController(graph, self.qs).run_until(until)
             self.qs.enforce_budget(graph)
+            if graph.clock.now > self._clock_high:
+                self._clock_high = graph.clock.now
             if not graph.incomplete_rank_merges():
                 # Nothing left to drive; a later graft re-activates it.
                 self._active_graphs.discard(graph_id)
 
-    def drain(self) -> EngineReport:
-        """Dispatch everything still pending and run all graphs to
-        completion, then return the cumulative report."""
+    def drain(self) -> None:
+        """Dispatch everything still pending and run every *active*
+        graph to completion.
+
+        Settled graphs (no incomplete rank-merges) are left alone: they
+        cannot make progress, and re-driving every graph ever created
+        made each drain O(history) under ATC-CQ's one-graph-per-query
+        regime.  Report construction lives in :meth:`report` -- callers
+        that drain in a loop (the service does, to flush deferred
+        queries) request the report once at the end.
+        """
         for batch in self.batcher.drain():
             self._run_batch(batch)
-        for graph in self.qs.graphs.values():
+        for graph_id in sorted(self._active_graphs):
+            graph = self.qs.graphs[graph_id]
             ATCController(graph, self.qs).run_until_complete()
-        self.qs.enforce_all_budgets()
+            self.qs.enforce_budget(graph)
+            if graph.clock.now > self._clock_high:
+                self._clock_high = graph.clock.now
         self._active_graphs.clear()
-        return self.report()
 
     def report(self) -> EngineReport:
         """Snapshot the cumulative state of every plan graph.
 
         Usable at any point of a stepped execution; user queries still
         in flight appear in the metrics with ``completed is None`` and
-        with their answers-so-far.
+        with their answers-so-far.  Built incrementally: only graphs
+        the QS manager marked dirty since the last report are
+        re-summarized; settled graphs reuse their cached snapshot.
         """
-        report = EngineReport(config=self.config)
-        report.metrics = self.qs.merged_metrics()
-        for graph in self.qs.graphs.values():
-            for uq_id, rm in graph.rank_merges.items():
-                report.answers[uq_id] = rm.answers
-            report.graph_summaries[graph.graph_id] = {
+        dirty = self.qs.consume_report_dirty()
+        for graph_id in dirty:
+            graph = self.qs.graphs.get(graph_id)
+            if graph is None:
+                continue
+            self._answers_cache[graph_id] = {
+                uq_id: rm.answers
+                for uq_id, rm in graph.rank_merges.items()
+            }
+            self._summary_cache[graph_id] = {
                 "clock": graph.clock.now,
                 "units": len(graph.units),
                 "nodes": len(graph.nodes),
@@ -201,6 +229,13 @@ class QSystemEngine:
                 "state_tuples": graph.state_size(),
                 "epoch": graph.epoch,
             }
+        if dirty or self._merged_metrics is None:
+            self._merged_metrics = self.qs.merged_metrics()
+        report = EngineReport(config=self.config)
+        report.metrics = self._merged_metrics
+        for graph_id in self.qs.graphs:
+            report.answers.update(self._answers_cache[graph_id])
+            report.graph_summaries[graph_id] = self._summary_cache[graph_id]
         return report
 
     def in_flight(self) -> list[str]:
@@ -213,9 +248,13 @@ class QSystemEngine:
         ]
 
     def virtual_now(self) -> float:
-        """The furthest-ahead plan-graph clock (0.0 before any work)."""
-        return max((g.clock.now for g in self.qs.graphs.values()),
-                   default=0.0)
+        """The furthest-ahead plan-graph clock (0.0 before any work).
+
+        Maintained as a high-water mark while graphs are driven --
+        settled clocks never move, so rescanning every graph per call
+        was pure overhead under ATC-CQ's graph-per-query regime.
+        """
+        return self._clock_high
 
     def total_state_size(self) -> int:
         """Tuples stored across every plan graph (the admission
@@ -247,6 +286,8 @@ class QSystemEngine:
                     dispatched=dispatched,
                     started=graph.clock.now,
                 ))
+            if graph.clock.now > self._clock_high:
+                self._clock_high = graph.clock.now
 
     def _optimization_groups(self, batch: Batch
                              ) -> list[tuple[str, list[UserQuery]]]:

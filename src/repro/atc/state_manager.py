@@ -97,6 +97,18 @@ class QueryStateManager:
             merge_threshold=config.cluster_jaccard,
             min_refs=config.cluster_min_refs,
         )
+        #: Cached per-graph state sizes.  ``total_state_size`` feeds the
+        #: admission controller on *every* submit, so it must not
+        #: re-walk every module of every graph ever created; instead
+        #: anything that mutates graph state (execution, grafting,
+        #: eviction) marks the graph dirty and only dirty graphs are
+        #: re-summed.
+        self._state_sizes: dict[str, int] = {}
+        self._state_dirty: set[str] = set()
+        self._total_state = 0
+        #: Graphs whose report snapshot (answers, summary) is stale.
+        #: Consumed by the engine's incremental ``report``.
+        self._report_dirty: set[str] = set()
 
     # -- graph routing -----------------------------------------------------------
 
@@ -122,7 +134,22 @@ class QueryStateManager:
             self.graphs[graph_id] = graph
             self.specs[graph_id] = {}
             self.cq_plans[graph_id] = {}
+            self.mark_state_dirty(graph_id)
         return graph
+
+    def mark_state_dirty(self, graph_id: str) -> None:
+        """Note that ``graph_id``'s stored-tuple count may have changed.
+
+        The same events invalidate its report snapshot, so both dirty
+        sets are fed from this single choke point."""
+        self._state_dirty.add(graph_id)
+        self._report_dirty.add(graph_id)
+
+    def consume_report_dirty(self) -> set[str]:
+        """Hand the report-stale graph set to the caller and reset it."""
+        dirty = self._report_dirty
+        self._report_dirty = set()
+        return dirty
 
     def oracle_for(self, graph: PlanGraph) -> GraphReuseOracle:
         return GraphReuseOracle(graph)
@@ -166,6 +193,7 @@ class QueryStateManager:
                 )
             graph.rank_merges[uq.uq_id] = RankMerge(uq)
             self.uq_graphs[uq.uq_id] = graph.graph_id
+        self.mark_state_dirty(graph.graph_id)
 
     def unpin_all(self, graph: PlanGraph) -> None:
         for unit in graph.units.values():
@@ -192,7 +220,11 @@ class QueryStateManager:
                         child.consumers.append(node)
                 node.clear_state()
                 node.seed_from_suppliers()
+                # Suppliers advanced while this node was detached from
+                # their consumer lists; its memoized bound is stale.
+                node.invalidate_bound()
                 graph.detached.discard(node_id)
+                self.mark_state_dirty(graph.graph_id)
             return node
         spec = self._spec(graph, node_id)
         if isinstance(spec, SourceSpec):
@@ -232,6 +264,7 @@ class QueryStateManager:
         for child in children:
             child.consumers.append(node)
         graph.nodes[node_id] = node
+        self.mark_state_dirty(graph.graph_id)
         return node
 
     def _spec(self, graph: PlanGraph, node_id: str
@@ -326,7 +359,8 @@ class QueryStateManager:
         if budget is None:
             return 0
         freed = 0
-        if graph.state_size() <= budget:
+        remaining = graph.state_size()
+        if remaining <= budget:
             return 0
         victims: list[tuple[int, int, str, object]] = []
         for node_id in graph.detached:
@@ -342,16 +376,20 @@ class QueryStateManager:
             victims.append((0, -source.cache_size, f"ra:{key}", source))
         victims.sort()
         for _epoch, _size, label, victim in victims:
-            if graph.state_size() <= budget:
+            if remaining <= budget:
                 break
             if isinstance(victim, MJoinNode):
-                freed += victim.clear_state()
+                dropped = victim.clear_state()
             elif isinstance(victim, InputUnit):
-                freed += victim.module.clear()
+                dropped = victim.module.clear()
                 victim.source.reset()
             else:
-                freed += victim.clear_cache()
+                dropped = victim.clear_cache()
+            freed += dropped
+            remaining -= dropped
             graph.metrics.evictions += 1
+        if freed:
+            self.mark_state_dirty(graph.graph_id)
         return freed
 
     def enforce_all_budgets(self) -> int:
@@ -368,8 +406,21 @@ class QueryStateManager:
     # -- aggregate views ---------------------------------------------------------------------
 
     def total_state_size(self) -> int:
-        """Stored tuples across every graph (admission control's gauge)."""
-        return sum(graph.state_size() for graph in self.graphs.values())
+        """Stored tuples across every graph (admission control's gauge).
+
+        Only graphs marked dirty since the last call are re-summed, so
+        a sustained stream of admission checks costs O(active graphs)
+        instead of O(every graph ever created).
+        """
+        if self._state_dirty:
+            sizes = self._state_sizes
+            for graph_id in self._state_dirty:
+                graph = self.graphs.get(graph_id)
+                new = graph.state_size() if graph is not None else 0
+                self._total_state += new - sizes.get(graph_id, 0)
+                sizes[graph_id] = new
+            self._state_dirty.clear()
+        return self._total_state
 
     def merged_metrics(self):
         from repro.stats.metrics import Metrics

@@ -21,6 +21,7 @@ score maxima) that the cost model consumes.
 
 from __future__ import annotations
 
+import heapq
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass
 from typing import Any
@@ -203,14 +204,17 @@ class Database:
                 "(cross products are never pushed down)"
             )
         candidates: dict[str, list[Row]] = {}
+        contrib_maps: dict[str, dict[int, float]] = {}
         for atom in expr.atoms:
             candidates[atom.alias] = self.scan_sorted(
                 atom.relation, expr.selections_on(atom.alias)
             )
+            contrib_maps[atom.alias] = self._table(atom.relation).contributions
         order = self._join_order(expr, candidates)
         first = order[0]
+        first_contribs = contrib_maps[first]
         partials = [
-            STuple.single(first, row, self.contribution(row.relation, row.tid))
+            STuple.single(first, row, first_contribs[row.tid])
             for row in candidates[first]
         ]
         bound = {first}
@@ -224,25 +228,40 @@ class Database:
             ]
             index: dict[tuple[Any, ...], list[Row]] = {}
             for row in candidates[alias]:
-                key = tuple(row[my_attr] for my_attr, _o, _oa in preds)
+                values = row.values
+                key = tuple(values[my_attr] for my_attr, _o, _oa in preds)
                 index.setdefault(key, []).append(row)
+            alias_contribs = contrib_maps[alias]
             grown: list[STuple] = []
+            append = grown.append
             for partial in partials:
+                bindings = partial.bindings
                 key = tuple(
-                    partial.value(other_alias, other_attr)
+                    bindings[other_alias].values[other_attr]
                     for _my, other_alias, other_attr in preds
                 )
-                for row in index.get(key, ()):
-                    addition = STuple.single(
-                        alias, row, self.contribution(row.relation, row.tid)
-                    )
-                    grown.append(partial.merge(addition))
+                rows = index.get(key)
+                if rows:
+                    for row in rows:
+                        append(partial.extend_one(
+                            alias, row, alias_contribs[row.tid]))
             partials = grown
             bound.add(alias)
             if not partials:
                 break
         partials.sort(key=lambda t: (-t.intrinsic, sorted(t.provenance)))
         return partials
+
+    def ranked_producer(self, expr: SPJ) -> "RankedSPJProducer":
+        """Incremental, ranked evaluation of a pushed-down expression.
+
+        Returns a producer whose output sequence is *identical* to
+        :meth:`execute_spj`'s list, but computed lazily: streaming
+        sources that read only a prefix (the common case -- top-k
+        processing stops early) no longer pay for joining and sorting
+        the full result at the site.
+        """
+        return RankedSPJProducer(self, expr)
 
     def _join_order(self, expr: SPJ,
                     candidates: Mapping[str, list[Row]]) -> list[str]:
@@ -266,6 +285,203 @@ class Database:
             order.append(nxt)
             remaining.remove(nxt)
         return order
+
+
+#: Safety margin for the producer's release gate: strictly larger than
+#: accumulated float rounding on the corner bound, strictly smaller
+#: than any meaningful score gap.
+_BOUND_MARGIN = 1e-9
+
+
+class RankedSPJProducer:
+    """Rank-by-rank evaluation of one pushed-down SPJ expression.
+
+    Produces exactly the sequence ``execute_spj`` returns -- results in
+    nonincreasing intrinsic order, ties broken by sorted provenance --
+    without materializing the full join first:
+
+    * per-alias candidate rows are scanned in nonincreasing
+      contribution order (the same ``scan_sorted`` the batch path
+      uses);
+    * each *pull* takes the next row of the alias attaining the HRJN
+      corner bound, joins it against the already-pulled rows of the
+      other aliases through hash indexes, and buffers the new results;
+    * a buffered result is released only when its score strictly beats
+      the corner bound (no future result can reach it), at which point
+      every tie is already buffered and the heap's provenance ordering
+      reproduces the batch path's sort exactly.
+
+    Bit-identical scores: result tuples are canonicalized to the batch
+    path's join order before scoring, so the float accumulation order
+    (and therefore every downstream threshold comparison) is unchanged.
+    """
+
+    def __init__(self, database: Database, expr: SPJ) -> None:
+        for atom in expr.atoms:
+            if not database.hosts(atom.relation):
+                raise DataError(
+                    f"cannot push {expr!r} to site {database.site!r}: "
+                    f"relation {atom.relation!r} is hosted elsewhere"
+                )
+        if not expr.is_connected():
+            raise DataError(
+                f"refusing to execute disconnected expression {expr!r} "
+                "(cross products are never pushed down)"
+            )
+        self.expr = expr
+        self.aliases = list(expr.aliases)
+        self._cands: dict[str, list[Row]] = {}
+        self._contribs: dict[str, dict[int, float]] = {}
+        for atom in expr.atoms:
+            self._cands[atom.alias] = database.scan_sorted(
+                atom.relation, expr.selections_on(atom.alias)
+            )
+            self._contribs[atom.alias] = \
+                database._table(atom.relation).contributions
+        #: The batch path's join order; results are canonicalized to it
+        #: so intrinsic scores accumulate identically.
+        self._build_order = database._join_order(expr, self._cands)
+        self._pos = {alias: 0 for alias in self.aliases}
+        #: An alias with no candidate rows can never contribute: the
+        #: join is empty and no pull can change that.
+        self._dead = any(not rows for rows in self._cands.values())
+        if not self._dead:
+            tops = {
+                alias: self._contribs[alias][rows[0].tid]
+                for alias, rows in self._cands.items()
+            }
+            total = sum(tops.values())
+            self._others_top = {
+                alias: total - tops[alias] for alias in self.aliases
+            }
+        else:
+            self._others_top = {alias: 0.0 for alias in self.aliases}
+        self._plans = {
+            alias: self._extension_plan(alias) for alias in self.aliases
+        }
+        self._index_attrs: dict[str, set[str]] = {
+            alias: set() for alias in self.aliases
+        }
+        for plan in self._plans.values():
+            for target, (_o_alias, _o_attr, t_attr), verify in plan:
+                self._index_attrs[target].add(t_attr)
+        self._indexes: dict[str, dict[str, dict[Any, list[Row]]]] = {
+            alias: {attr: {} for attr in attrs}
+            for alias, attrs in self._index_attrs.items()
+        }
+        #: (negated score, provenance sort key, result) min-heap.
+        self._buffer: list[tuple[float, tuple, STuple]] = []
+
+    def _extension_plan(self, start: str
+                        ) -> list[tuple[str, tuple, list[tuple]]]:
+        """Connected probe order for results driven by ``start``:
+        per step the target alias, the probing predicate as
+        ``(partial_alias, partial_attr, target_attr)``, and the
+        remaining predicates to verify."""
+        bound = {start}
+        remaining = [a for a in self.aliases if a != start]
+        steps: list[tuple[str, tuple, list[tuple]]] = []
+        while remaining:
+            chosen = None
+            for target in remaining:
+                cross = []
+                for pred in self.expr.joins_on(target):
+                    other = pred.other(target)
+                    if other in bound:
+                        cross.append((other, pred.side_for(other)[0],
+                                      pred.side_for(target)[0]))
+                if cross:
+                    chosen = (target, cross[0], cross[1:])
+                    break
+            if chosen is None:
+                raise DataError(
+                    f"join graph of {self.expr!r} became disconnected "
+                    "during ordering; this indicates a malformed expression"
+                )
+            steps.append(chosen)
+            bound.add(chosen[0])
+            remaining.remove(chosen[0])
+        return steps
+
+    def _preferred(self) -> tuple[str | None, float]:
+        """The alias whose next pull attains the corner bound, plus the
+        bound itself; ``(None, -inf)`` once every input is exhausted."""
+        best: str | None = None
+        best_value = float("-inf")
+        for alias in self.aliases:
+            rows = self._cands[alias]
+            position = self._pos[alias]
+            if position >= len(rows):
+                continue
+            value = self._contribs[alias][rows[position].tid] \
+                + self._others_top[alias]
+            if value > best_value:
+                best_value = value
+                best = alias
+        return best, best_value
+
+    def _pull(self, alias: str) -> None:
+        """Read one row, join it against everything already seen,
+        buffer the canonicalized results, then index the row."""
+        row = self._cands[alias][self._pos[alias]]
+        self._pos[alias] += 1
+        partials: list[dict[str, Row]] = [{alias: row}]
+        for target, (o_alias, o_attr, t_attr), verify in self._plans[alias]:
+            index = self._indexes[target][t_attr]
+            grown: list[dict[str, Row]] = []
+            for partial in partials:
+                value = partial[o_alias].values[o_attr]
+                matches = index.get(value)
+                if not matches:
+                    continue
+                for candidate in matches:
+                    ok = True
+                    for vo_alias, vo_attr, vt_attr in verify:
+                        if candidate.values[vt_attr] \
+                                != partial[vo_alias].values[vo_attr]:
+                            ok = False
+                            break
+                    if ok:
+                        extended = dict(partial)
+                        extended[target] = candidate
+                        grown.append(extended)
+            partials = grown
+            if not partials:
+                break
+        for attr in self._index_attrs[alias]:
+            self._indexes[alias][attr].setdefault(
+                row.values[attr], []).append(row)
+        if not partials:
+            return
+        contribs_of = self._contribs
+        for partial in partials:
+            bindings = {a: partial[a] for a in self._build_order}
+            tup = STuple._from_parts(
+                bindings,
+                {a: contribs_of[a][partial[a].tid]
+                 for a in self._build_order},
+                frozenset((a, r.relation, r.tid)
+                          for a, r in bindings.items()),
+            )
+            heapq.heappush(
+                self._buffer,
+                (-tup._intrinsic, tuple(sorted(tup._provenance)), tup),
+            )
+
+    def produce(self) -> STuple | None:
+        """The next result in ranked order, or ``None`` when done."""
+        if self._dead:
+            return None
+        buffer = self._buffer
+        while True:
+            preferred, corner = self._preferred()
+            if buffer:
+                if preferred is None \
+                        or -buffer[0][0] > corner + _BOUND_MARGIN:
+                    return heapq.heappop(buffer)[2]
+            elif preferred is None:
+                return None
+            self._pull(preferred)
 
 
 class Federation:

@@ -68,7 +68,8 @@ class STuple:
     (see :mod:`repro.scoring`).
     """
 
-    __slots__ = ("bindings", "contribs", "_provenance", "_intrinsic")
+    __slots__ = ("bindings", "contribs", "_provenance", "_intrinsic",
+                 "_aliases")
 
     def __init__(self, bindings: Mapping[str, Row],
                  contribs: Mapping[str, float]) -> None:
@@ -86,10 +87,36 @@ class STuple:
             for alias, row in self.bindings.items()
         )
         self._intrinsic: float = sum(self.contribs.values())
+        self._aliases: frozenset[str] | None = None
+
+    @classmethod
+    def _from_parts(cls, bindings: dict[str, Row],
+                    contribs: dict[str, float],
+                    provenance: frozenset) -> "STuple":
+        """Trusted-input constructor for the join hot paths.
+
+        Callers own the dicts they pass (no copying) and have already
+        guaranteed the alias sets agree.  The intrinsic score is
+        ``sum`` over ``contribs`` insertion order -- the one invariant
+        every caller relies on for bit-identical scores -- and lives
+        here so new slots need initializing in exactly one place.
+        """
+        tup = cls.__new__(cls)
+        tup.bindings = bindings
+        tup.contribs = contribs
+        tup._provenance = provenance
+        tup._intrinsic = sum(contribs.values())
+        tup._aliases = None
+        return tup
 
     @classmethod
     def single(cls, alias: str, row: Row, contrib: float) -> "STuple":
-        return cls({alias: row}, {alias: contrib})
+        # Join probes build millions of one-atom tuples; skip the
+        # general constructor's validation and re-copying.
+        return cls._from_parts(
+            {alias: row}, {alias: contrib},
+            frozenset(((alias, row.relation, row.tid),)),
+        )
 
     # -- score access ------------------------------------------------------
 
@@ -100,7 +127,10 @@ class STuple:
 
     @property
     def aliases(self) -> frozenset[str]:
-        return frozenset(self.bindings)
+        cached = self._aliases
+        if cached is None:
+            cached = self._aliases = frozenset(self.bindings)
+        return cached
 
     @property
     def provenance(self) -> frozenset[tuple[str, str, int]]:
@@ -119,8 +149,8 @@ class STuple:
 
     def merge(self, other: "STuple") -> "STuple":
         """Combine two tuples with disjoint aliases into one."""
-        overlap = self.aliases & other.aliases
-        if overlap:
+        if self.bindings.keys() & other.bindings.keys():
+            overlap = self.aliases & other.aliases
             raise DataError(
                 f"cannot merge STuples sharing aliases {sorted(overlap)}"
             )
@@ -128,7 +158,30 @@ class STuple:
         bindings.update(other.bindings)
         contribs = dict(self.contribs)
         contribs.update(other.contribs)
-        return STuple(bindings, contribs)
+        # Join hot path: no re-validation, provenance by set union.
+        return STuple._from_parts(bindings, contribs,
+                                  self._provenance | other._provenance)
+
+    def extend_one(self, alias: str, row: Row, contrib: float) -> "STuple":
+        """``merge`` specialized for adding a single new atom.
+
+        The site-side join and the m-join probe loop grow bindings one
+        atom at a time; going through ``single`` + ``merge`` built (and
+        immediately discarded) an intermediate STuple per extension.
+        Accumulation order matches ``merge`` exactly, so intrinsic
+        scores stay bit-identical.
+        """
+        if alias in self.bindings:
+            raise DataError(
+                f"cannot merge STuples sharing aliases [{alias!r}]"
+            )
+        bindings = dict(self.bindings)
+        bindings[alias] = row
+        contribs = dict(self.contribs)
+        contribs[alias] = contrib
+        return STuple._from_parts(
+            bindings, contribs,
+            self._provenance | {(alias, row.relation, row.tid)})
 
     def rename(self, mapping: Mapping[str, str]) -> "STuple":
         """Return a copy with aliases renamed through ``mapping``.

@@ -67,15 +67,33 @@ class StreamingSource:
         self.metrics = metrics
         self.delays = delays
         self._rng = rng
-        self._results: list[STuple] | None = None
+        #: Produced prefix of the site's ranked result, grown on demand
+        #: by the lazy producer.  The site used to execute and sort the
+        #: *entire* join on first touch; a top-k stream typically reads
+        #: a tiny prefix, so production is now incremental (the
+        #: producer's output order is bit-identical to the full sort).
+        self._results: list[STuple] = []
+        self._producer = None
+        self._producer_done = False
         self._position = 0
 
     # -- lazy materialization ------------------------------------------------
 
-    def _ensure_materialized(self) -> list[STuple]:
-        if self._results is None:
-            self._results = self.database.execute_spj(self.expr)
-        return self._results
+    def _ensure_produced(self, count: int) -> list[STuple]:
+        """Grow the produced prefix to ``count`` tuples (or exhaustion)."""
+        results = self._results
+        if self._producer_done or len(results) >= count:
+            return results
+        if self._producer is None:
+            self._producer = self.database.ranked_producer(self.expr)
+        produce = self._producer.produce
+        while len(results) < count:
+            tup = produce()
+            if tup is None:
+                self._producer_done = True
+                break
+            results.append(tup)
+        return results
 
     # -- streaming interface -------------------------------------------------
 
@@ -85,7 +103,7 @@ class StreamingSource:
 
     @property
     def exhausted(self) -> bool:
-        return self._position >= len(self._ensure_materialized())
+        return self._position >= len(self._ensure_produced(self._position + 1))
 
     def bound(self) -> float:
         """Upper bound on the intrinsic score of any *unread* tuple.
@@ -94,14 +112,14 @@ class StreamingSource:
         ``-inf`` once exhausted.  Before the first read this is the
         stream's maximum possible score.
         """
-        results = self._ensure_materialized()
+        results = self._ensure_produced(self._position + 1)
         if self._position >= len(results):
             return EXHAUSTED
         return results[self._position].intrinsic
 
     def read(self) -> STuple | None:
         """Pull the next tuple, paying the network delay; None when done."""
-        results = self._ensure_materialized()
+        results = self._ensure_produced(self._position + 1)
         if self._position >= len(results):
             return None
         tup = results[self._position]
@@ -113,10 +131,12 @@ class StreamingSource:
 
     def peek_all_read(self) -> list[STuple]:
         """The prefix already consumed (used by state-recovery tests)."""
-        return list(self._ensure_materialized()[: self._position])
+        return list(self._results[: self._position])
 
     def remaining(self) -> int:
-        return len(self._ensure_materialized()) - self._position
+        """Unread tuples left; forces full production (test/debug use)."""
+        import sys
+        return len(self._ensure_produced(sys.maxsize)) - self._position
 
     def reset(self) -> None:
         """Rewind to the start of the stream.
@@ -170,6 +190,7 @@ class RandomAccessSource:
         self.selections = tuple(selections)
         self.use_cache = use_cache
         self._cache: dict[tuple[str, Any], list[Row]] = {}
+        self._cached_rows = 0
 
     def probe(self, attr: str, value: Any) -> list[Row]:
         """All rows with ``attr == value`` passing this source's selections."""
@@ -181,7 +202,14 @@ class RandomAccessSource:
         else:
             rows = self.database.probe(self.relation, attr, value,
                                        self.selections)
+            # With caching disabled the same key re-probes and
+            # overwrites its slot; the gauge must track residency, not
+            # traffic.
+            previous = self._cache.get(key)
+            if previous is not None:
+                self._cached_rows -= len(previous)
             self._cache[key] = rows
+            self._cached_rows += len(rows)
             delay = self._delay(self.delays.random_probe_mean)
             self.clock.advance(delay)
             self.metrics.record_probe(delay, cached=False)
@@ -201,12 +229,15 @@ class RandomAccessSource:
 
     @property
     def cache_size(self) -> int:
-        return sum(len(rows) for rows in self._cache.values())
+        """Cached row count, maintained incrementally (this gauge feeds
+        every admission check, so it must not rescan the cache)."""
+        return self._cached_rows
 
     def clear_cache(self) -> int:
         """Drop cached probe results; returns tuples freed (eviction)."""
-        freed = self.cache_size
+        freed = self._cached_rows
         self._cache.clear()
+        self._cached_rows = 0
         return freed
 
     def rebind(self, clock: VirtualClock, metrics: Metrics) -> None:

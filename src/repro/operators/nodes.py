@@ -49,6 +49,23 @@ class Consumer(Protocol):
     def on_arrival(self, supplier: "Supplier", tup: STuple) -> None: ...
 
 
+def notify_bound_dirty(consumers: Sequence[Any]) -> None:
+    """Tell every consumer that its supplier's bound may have changed.
+
+    Consumers that maintain memoized bounds (m-joins) or threshold
+    indexes (rank-merge entry adapters) implement
+    ``on_supplier_bound_dirty``; anything else is skipped.  Propagation
+    stops at consumers that are already dirty, so a burst of arrivals
+    costs amortized O(1) invalidations per edge rather than one graph
+    walk per tuple -- the fix for the accidentally-quadratic threshold
+    maintenance this module used to do on every scheduling step.
+    """
+    for consumer in consumers:
+        callback = getattr(consumer, "on_supplier_bound_dirty", None)
+        if callback is not None:
+            callback()
+
+
 class Supplier(Protocol):
     """Anything that emits a sorted stream into the plan graph."""
 
@@ -104,6 +121,7 @@ class InputUnit:
         self.clock.advance(self.delays.cpu_insert)
         self.metrics.record_insert(self.delays.cpu_insert)
         self.last_used_epoch = epoch
+        notify_bound_dirty(self.consumers)
         for consumer in list(self.consumers):
             consumer.on_arrival(self, tup)
         return tup
@@ -145,6 +163,7 @@ class RecoveryUnit:
         tup = self.source.read()  # counts as reuse inside the source
         if tup is None:
             return None
+        notify_bound_dirty(self.consumers)
         for consumer in list(self.consumers):
             consumer.on_arrival(self, tup)
         return tup
@@ -297,6 +316,11 @@ class MJoinNode:
         self._probe_cap = sum(
             self._top_of(t.aliases) for t in self.probe_targets
         )
+        #: Memoized corner bound; ``None`` means dirty.  Invalidated by
+        #: supplier bound changes (``on_supplier_bound_dirty``); the
+        #: buffer does not feed the corner, so buffer churn leaves it
+        #: intact (``bound()`` folds the buffer top in per call).
+        self._corner_cache: float | None = None
 
     # -- static structure -------------------------------------------------------
 
@@ -337,11 +361,32 @@ class MJoinNode:
     def _top_of(self, aliases: frozenset[str]) -> float:
         return sum(self.caps[a] for a in aliases)
 
+    def on_supplier_bound_dirty(self) -> None:
+        """A supplier's bound changed: drop the corner memo and pass the
+        invalidation downstream.  Stops when already dirty -- consumers
+        were notified the first time and have not recomputed since."""
+        if self._corner_cache is None:
+            return
+        self._corner_cache = None
+        notify_bound_dirty(self.consumers)
+
+    def invalidate_bound(self) -> None:
+        """Force a recompute on the next query, and tell consumers.
+
+        Needed when this node re-attaches to suppliers it was detached
+        from (revival): invalidations sent while detached were missed.
+        """
+        self._corner_cache = None
+        notify_bound_dirty(self.consumers)
+
     def corner_bound(self) -> float:
         """HRJN corner bound on the intrinsic score of any join result
         not yet in the buffer: some stream contributes its next-unseen
         tuple (bounded by the stream bound) and everything else its cap.
         """
+        cached = self._corner_cache
+        if cached is not None:
+            return cached
         best = -math.inf
         for idx, supplier in enumerate(self.suppliers):
             s_i = supplier.bound()
@@ -350,9 +395,9 @@ class MJoinNode:
             value = s_i + self._tops_total - self._supplier_tops[idx]
             if value > best:
                 best = value
-        if best == -math.inf:
-            return -math.inf
-        return best + self._probe_cap
+        corner = -math.inf if best == -math.inf else best + self._probe_cap
+        self._corner_cache = corner
+        return corner
 
     def bound(self) -> float:
         """Bound on the intrinsic score of the next *released* tuple."""
@@ -404,11 +449,14 @@ class MJoinNode:
             if not partials:
                 break
             partials = self._extend(partials, target)
-        for result in partials:
-            heapq.heappush(
-                self._buffer,
-                (-result.intrinsic, next(self._counter), result),
-            )
+        if partials:
+            for result in partials:
+                heapq.heappush(
+                    self._buffer,
+                    (-result.intrinsic, next(self._counter), result),
+                )
+            # The buffer top may have risen, which raises bound().
+            notify_bound_dirty(self.consumers)
 
     def _probe_order(self, targets: list[ProbeTarget],
                      start_aliases: frozenset[str]) -> list[ProbeTarget]:
@@ -472,22 +520,23 @@ class MJoinNode:
             else:
                 t_alias, t_attr = first.right_alias, first.right_attr
                 p_alias, p_attr = first.left_alias, first.left_attr
-            value = partial.value(p_alias, p_attr)
+            value = partial.bindings[p_alias].values[p_attr]
             self.clock.advance(self.delays.cpu_probe)
             self.metrics.record_join_probe(self.delays.cpu_probe)
             candidates = target.lookup(t_alias, t_attr, value)
             target.probes += 1
+            rest = applicable[1:]
             for candidate in candidates:
                 ok = True
-                for pred in applicable[1:]:
+                for pred in rest:
                     if pred.left_alias in target.aliases:
                         c_alias, c_attr = pred.left_alias, pred.left_attr
                         o_alias, o_attr = pred.right_alias, pred.right_attr
                     else:
                         c_alias, c_attr = pred.right_alias, pred.right_attr
                         o_alias, o_attr = pred.left_alias, pred.left_attr
-                    if candidate.value(c_alias, c_attr) \
-                            != partial.value(o_alias, o_attr):
+                    if candidate.bindings[c_alias].values[c_attr] \
+                            != partial.bindings[o_alias].values[o_attr]:
                         ok = False
                         break
                 if ok:
@@ -545,6 +594,8 @@ class MJoinNode:
         detach support).  Returns tuples freed."""
         freed = self.module.clear() + len(self._buffer)
         self._buffer.clear()
+        self._corner_cache = None
+        notify_bound_dirty(self.consumers)
         return freed
 
     def release_ready(self) -> int:
@@ -563,6 +614,7 @@ class MJoinNode:
             self.metrics.record_insert(self.delays.cpu_insert)
             self._released += 1
             released += 1
+            notify_bound_dirty(self.consumers)
             for consumer in list(self.consumers):
                 consumer.on_arrival(self, tup)
         return released

@@ -69,6 +69,58 @@ class _EntryAdapter:
     def on_arrival(self, supplier: Supplier, tup: STuple) -> None:
         self.merge.ingest(self.entry, tup)
 
+    def on_supplier_bound_dirty(self) -> None:
+        """The stream's bound moved: queue a threshold recompute."""
+        self.merge._thr_dirty.add(self.entry.stream_id)
+
+
+class _TopKTracker:
+    """Min-heap of the best ``size`` scores seen, with lazy deletion.
+
+    Maintains the pruning frontier (the k-th ranked score of Section
+    6.3) incrementally, replacing the ``heapq.nsmallest`` full-heap
+    rescan the rank-merge used to run after every emission.  Deleted
+    scores are maxima at deletion time, so they sink in the min-heap
+    and are settled out only when they surface.
+    """
+
+    __slots__ = ("_heap", "_deleted", "size")
+
+    def __init__(self) -> None:
+        self._heap: list[float] = []
+        self._deleted: dict[float, int] = {}
+        self.size = 0
+
+    def _settle(self) -> None:
+        heap, deleted = self._heap, self._deleted
+        while heap:
+            pending = deleted.get(heap[0], 0)
+            if not pending:
+                return
+            value = heapq.heappop(heap)
+            if pending == 1:
+                del deleted[value]
+            else:
+                deleted[value] = pending - 1
+
+    def push(self, value: float) -> None:
+        heapq.heappush(self._heap, value)
+        self.size += 1
+
+    def peek_min(self) -> float:
+        self._settle()
+        return self._heap[0]
+
+    def pop_min(self) -> float:
+        self._settle()
+        self.size -= 1
+        return heapq.heappop(self._heap)
+
+    def remove(self, value: float) -> None:
+        """Logically delete one instance of ``value`` (must be present)."""
+        self._deleted[value] = self._deleted.get(value, 0) + 1
+        self.size -= 1
+
 
 @dataclass
 class _Candidate:
@@ -93,6 +145,23 @@ class RankMerge:
         self._seen: set[tuple[str, frozenset]] = set()
         self.complete = False
         self.activations = 0
+        #: Incremental threshold maintenance: a lazy max-heap over the
+        #: entries' thresholds.  Stream-bound changes mark entries dirty
+        #: (via their adapters); queries flush the dirty set and settle
+        #: stale heap tops, so ``preferred_entry`` / the frontier cost
+        #: O(log n) amortized instead of re-walking every stream's plan
+        #: chain.  Heap items are ``(-threshold, registration_seq,
+        #: stream_id)``; the seq preserves the original first-registered
+        #: tie-break.
+        self._thr_heap: list[tuple[float, int, str]] = []
+        self._thr_cached: dict[str, float] = {}
+        self._thr_dirty: set[str] = set()
+        self._thr_seq: dict[str, int] = {}
+        #: Maintained top-(k - emitted) frontier over queued candidates.
+        self._topk = _TopKTracker()
+        #: Cached ``max_pending_bound`` (pending mutates rarely).
+        self._pending_bound = max(
+            (cq.upper_bound for cq in self.pending), default=-math.inf)
 
     # -- registration ---------------------------------------------------------
 
@@ -107,15 +176,23 @@ class RankMerge:
         suffix = kind if kind != "live" else "live"
         stream_id = f"{cq.cq_id}:{suffix}:{len(self.entries)}"
         entry = CQStreamEntry(stream_id, cq, supplier, kind=kind)
+        self._thr_seq[stream_id] = len(self.entries)
         self.entries[stream_id] = entry
+        self._thr_dirty.add(stream_id)
         supplier.consumers.append(_EntryAdapter(self, entry))
         if kind == "live":
             self.pending = [p for p in self.pending if p.cq_id != cq.cq_id]
+            self._recompute_pending_bound()
             self.activations += 1
         return entry
 
     def drop_pending(self, cq_id: str) -> None:
         self.pending = [p for p in self.pending if p.cq_id != cq_id]
+        self._recompute_pending_bound()
+
+    def _recompute_pending_bound(self) -> None:
+        self._pending_bound = max(
+            (cq.upper_bound for cq in self.pending), default=-math.inf)
 
     # -- data flow ---------------------------------------------------------------
 
@@ -136,34 +213,70 @@ class RankMerge:
             tup=tup,
         )
         heapq.heappush(self._heap, (-score, next(self._counter), candidate))
+        needed = self.k - len(self.emitted)
+        if needed > 0:
+            topk = self._topk
+            if topk.size < needed:
+                topk.push(score)
+            elif score > topk.peek_min():
+                topk.pop_min()
+                topk.push(score)
 
     # -- thresholds -----------------------------------------------------------------
 
     def active_entries(self) -> list[CQStreamEntry]:
         return [e for e in self.entries.values() if e.active]
 
+    def _flush_thresholds(self) -> None:
+        """Recompute the thresholds of dirty entries into the lazy heap."""
+        if not self._thr_dirty:
+            return
+        for stream_id in self._thr_dirty:
+            entry = self.entries[stream_id]
+            threshold = entry.threshold()
+            self._thr_cached[stream_id] = threshold
+            heapq.heappush(self._thr_heap,
+                           (-threshold, self._thr_seq[stream_id], stream_id))
+        self._thr_dirty.clear()
+        if len(self._thr_heap) > 4 * len(self.entries) + 64:
+            # Compact stale residue so the heap stays O(entries).
+            self._thr_heap = [
+                (-t, self._thr_seq[sid], sid)
+                for sid, t in self._thr_cached.items()
+                if self.entries[sid].active
+            ]
+            heapq.heapify(self._thr_heap)
+
     def max_active_threshold(self) -> float:
-        thresholds = [e.threshold() for e in self.active_entries()]
-        return max(thresholds, default=-math.inf)
+        self._flush_thresholds()
+        heap = self._thr_heap
+        while heap:
+            neg_t, _seq, stream_id = heap[0]
+            if (self._thr_cached[stream_id] != -neg_t
+                    or not self.entries[stream_id].active):
+                heapq.heappop(heap)   # stale value / deactivated forever
+                continue
+            return -neg_t
+        return -math.inf
 
     def max_pending_bound(self) -> float:
-        return max((cq.upper_bound for cq in self.pending), default=-math.inf)
+        return self._pending_bound
 
     def frontier(self) -> float:
         """The emission gate: no unseen tuple can score above this."""
-        return max(self.max_active_threshold(), self.max_pending_bound())
+        return max(self.max_active_threshold(), self._pending_bound)
 
     def kth_ranked_score(self) -> float:
         """Score of the k-th best tuple currently known (emitted or
         queued); ``-inf`` if fewer than k are known.  This is the
-        pruning frontier of Section 6.3."""
+        pruning frontier of Section 6.3, read off the maintained
+        top-k tracker in O(1)."""
         needed = self.k - len(self.emitted)
         if needed <= 0:
             return self.emitted[-1].score if self.emitted else -math.inf
         if len(self._heap) < needed:
             return -math.inf
-        top_scores = heapq.nsmallest(needed, self._heap)
-        return -top_scores[-1][0]
+        return self._topk.peek_min()
 
     # -- control decisions -------------------------------------------------------------
 
@@ -198,17 +311,31 @@ class RankMerge:
     def preferred_entry(self) -> CQStreamEntry | None:
         """The active, non-exhausted stream with the highest threshold:
         the read the paper says "will drop the score threshold the
-        most"."""
-        best: CQStreamEntry | None = None
-        best_threshold = -math.inf
-        for entry in self.active_entries():
-            if entry.exhausted:
+        most".  O(log n) amortized off the maintained threshold heap;
+        ties go to the earliest-registered entry, matching the original
+        scan order."""
+        self._flush_thresholds()
+        heap = self._thr_heap
+        while heap:
+            neg_t, seq, stream_id = heap[0]
+            entry = self.entries[stream_id]
+            if self._thr_cached[stream_id] != -neg_t or not entry.active:
+                heapq.heappop(heap)
                 continue
-            threshold = entry.threshold()
-            if threshold > best_threshold:
-                best_threshold = threshold
-                best = entry
-        return best
+            if neg_t == math.inf:
+                # Exhausted (and any other -inf-threshold) streams are
+                # never preferred; nothing above them remains either.
+                return None
+            if entry.exhausted:
+                # Stale cache: plan-graph suppliers push invalidations,
+                # but a duck-typed supplier that drained silently must
+                # not deadlock the scheduler.  Refresh and re-settle.
+                threshold = entry.threshold()
+                self._thr_cached[stream_id] = threshold
+                heapq.heappush(heap, (-threshold, seq, stream_id))
+                continue
+            return entry
+        return None
 
     # -- emission ---------------------------------------------------------------------
 
@@ -220,6 +347,10 @@ class RankMerge:
             if top_score + _EPSILON < self.frontier():
                 break
             _neg, _seq, candidate = heapq.heappop(self._heap)
+            if self.k - len(self.emitted) > 0:
+                # The emitted candidate is the queued maximum, so it is
+                # tracked; shrink the frontier window with it.
+                self._topk.remove(candidate.score)
             self.emitted.append(candidate)
             out.append(candidate.answer)
             if len(self.emitted) >= self.k:
@@ -233,12 +364,15 @@ class RankMerge:
         kth = self.kth_ranked_score()
         if kth == -math.inf:
             return
+        self._flush_thresholds()
         for entry in self.active_entries():
-            if entry.threshold() + _EPSILON < kth:
+            if self._thr_cached[entry.stream_id] + _EPSILON < kth:
                 entry.active = False
-        self.pending = [
-            cq for cq in self.pending if cq.upper_bound + _EPSILON >= kth
-        ]
+        if any(cq.upper_bound + _EPSILON < kth for cq in self.pending):
+            self.pending = [
+                cq for cq in self.pending if cq.upper_bound + _EPSILON >= kth
+            ]
+            self._recompute_pending_bound()
 
     def finalize(self) -> list[RankedAnswer]:
         """Flush when every stream is exhausted and nothing is pending:

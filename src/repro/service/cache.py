@@ -16,6 +16,7 @@ cache-hit-rate line.
 
 from __future__ import annotations
 
+import math
 from collections import OrderedDict
 from collections.abc import Iterable
 from dataclasses import dataclass, field
@@ -88,6 +89,12 @@ class ResultCache:
         self.capacity = capacity
         self.stats = CacheStats()
         self._entries: OrderedDict[CacheKey, CacheEntry] = OrderedDict()
+        #: Conservative lower bound on the oldest resident
+        #: ``stored_at`` (only ever too low, never too high), so the
+        #: capacity path can skip the O(n) expiry scan when no entry
+        #: can possibly have expired.  Tightened exactly by
+        #: ``purge_expired``.
+        self._oldest_stored_at = math.inf
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -124,12 +131,29 @@ class ResultCache:
 
     def put(self, key: CacheKey, answers: list[RankedAnswer],
             now: float) -> None:
-        """Store ``answers`` under ``key``, evicting LRU entries to fit."""
+        """Store ``answers`` under ``key``, evicting entries to fit.
+
+        Capacity pressure first purges entries already past their TTL
+        (counted as ``expirations`` -- they were dead regardless), and
+        only then evicts live entries in LRU order (counted as
+        ``evictions``).  Evicting blind used to drop a live LRU entry
+        while stale entries stayed resident, and miscounted the dropped
+        expired entries as evictions.
+        """
         if key in self._entries:
             del self._entries[key]
             self.stats.overwrites += 1
         self._entries[key] = CacheEntry(list(answers), now)
+        if now < self._oldest_stored_at:
+            self._oldest_stored_at = now
         self.stats.insertions += 1
+        if len(self._entries) > self.capacity \
+                and now - self._oldest_stored_at > self.ttl:
+            # Something *may* be stale (the bound is conservative, so a
+            # stale entry always trips it); purge before touching live
+            # LRU entries.  A warm cache of fresh entries skips this
+            # scan entirely.
+            self.purge_expired(now)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
@@ -141,4 +165,7 @@ class ResultCache:
         for key in stale:
             del self._entries[key]
         self.stats.expirations += len(stale)
+        self._oldest_stored_at = min(
+            (entry.stored_at for entry in self._entries.values()),
+            default=math.inf)
         return len(stale)

@@ -153,6 +153,12 @@ class QService:
         self._deferred: deque[tuple[KeywordQuery, Ticket,
                                     UserQuery | None]] = deque()
         self._now = 0.0
+        #: Proactive cache grooming: sweep expired entries every
+        #: quarter-TTL of virtual time, so stale entries cannot sit
+        #: resident (and push live ones out under capacity pressure)
+        #: just because nobody happened to look them up.
+        self._purge_interval = self.cache.ttl / 4.0
+        self._next_purge = self._purge_interval
 
     # -- intake ---------------------------------------------------------------
 
@@ -277,12 +283,21 @@ class QService:
         router's load gauge, and the admission controller's)."""
         return len(self._live)
 
+    @property
+    def deferred_count(self) -> int:
+        """Queries parked awaiting budget (unresolved, like in-flight)."""
+        return len(self._deferred)
+
     def step(self, until: float) -> None:
-        """Advance virtual time: execute, harvest completions, retry
-        deferred queries against the freed budget."""
+        """Advance virtual time: execute, harvest completions, groom
+        the answer cache, retry deferred queries against the freed
+        budget."""
         self._now = max(self._now, until)
         self.engine.step(until)
         self._harvest()
+        if self._now >= self._next_purge:
+            self.cache.purge_expired(self._now)
+            self._next_purge = self._now + self._purge_interval
         self._retry_deferred(until)
 
     def drain(self) -> ServiceReport:

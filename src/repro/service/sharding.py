@@ -65,12 +65,16 @@ class RoutingStats:
     routed: list[int]
     spillovers: int = 0
     front_cache_hits: int = 0
+    #: Queries pinned to an in-flight twin's shard instead of the
+    #: policy's pick, so the worker-level coalescing can catch them.
+    affinity_overrides: int = 0
 
     def snapshot(self) -> dict[str, float]:
         out = {f"shard{i}_routed": float(n)
                for i, n in enumerate(self.routed)}
         out["spillovers"] = float(self.spillovers)
         out["front_cache_hits"] = float(self.front_cache_hits)
+        out["affinity_overrides"] = float(self.affinity_overrides)
         return out
 
 
@@ -170,6 +174,14 @@ class ShardedQService:
         self.routing_stats = RoutingStats(policy=self.router.name,
                                           routed=[0] * n_shards)
         self.tickets: list[Ticket] = []
+        #: Front-door in-flight registry: cache key -> the leading
+        #: unresolved ticket.  A repeat of an in-flight key is pinned to
+        #: its leader's shard, where the worker's ``_serve_fast``
+        #: coalesces it -- without this, content-blind policies (round
+        #: robin) scatter identical in-flight queries across shards and
+        #: every copy executes the full plan, losing the coalescing the
+        #: single-shard service guarantees.
+        self._inflight_leaders: dict[tuple, Ticket] = {}
         self._now = 0.0
 
     # -- intake ---------------------------------------------------------------
@@ -189,26 +201,55 @@ class ShardedQService:
             return self._serve_at_front_door(kq, at, via="cache",
                                              answers=list(cached))
 
-        uq: UserQuery | None = None
-        if self.router.needs_expansion:
-            try:
-                uq = self.generator.generate(replace(kq, arrival=at))
-            except QueryError as exc:
-                # Unmatchable keywords: serve the empty answer at the
-                # front door rather than routing a query the worker
-                # would only re-expand to re-discover the failure.
-                self.telemetry.record_no_results()
-                return self._serve_at_front_door(kq, at, via="empty",
-                                                 answers=[],
-                                                 reason=str(exc))
-        shard = self.router.route(kq, uq, self.n_shards)
-        shard = self._spill(shard)
+        leader_shard = self._leader_shard(key)
+        if leader_shard is not None:
+            # An identical query is in flight on ``leader_shard``: pin
+            # this one there (skipping the policy *and* spill-over --
+            # coalescing happens before admission, so saturation is
+            # moot) and let the worker's ``_serve_fast`` coalesce it.
+            self.routing_stats.affinity_overrides += 1
+            shard = leader_shard
+            uq = None
+        else:
+            uq = None
+            if self.router.needs_expansion:
+                try:
+                    uq = self.generator.generate(replace(kq, arrival=at))
+                except QueryError as exc:
+                    # Unmatchable keywords: serve the empty answer at
+                    # the front door rather than routing a query the
+                    # worker would only re-expand to re-discover the
+                    # failure.
+                    self.telemetry.record_no_results()
+                    return self._serve_at_front_door(kq, at, via="empty",
+                                                     answers=[],
+                                                     reason=str(exc))
+            shard = self.router.route(kq, uq, self.n_shards)
+            shard = self._spill(shard)
         self.routing_stats.routed[shard] += 1
         ticket = self.workers[shard].submit(kq, arrival=at, uq=uq,
                                             check_cache=False)
         ticket.shard = shard
         self.tickets.append(ticket)
+        if (self.service_config.coalesce
+                and key not in self._inflight_leaders
+                and ticket.status in ("in-flight", "deferred")):
+            self._inflight_leaders[key] = ticket
         return ticket
+
+    def _leader_shard(self, key: tuple) -> int | None:
+        """The shard of ``key``'s in-flight leader, pruning resolved
+        leaders on the way; ``None`` when no live leader exists (or
+        coalescing is off)."""
+        if not self.service_config.coalesce:
+            return None
+        leader = self._inflight_leaders.get(key)
+        if leader is None:
+            return None
+        if leader.status in ("done", "rejected"):
+            del self._inflight_leaders[key]
+            return None
+        return leader.shard
 
     def _serve_at_front_door(self, kq: KeywordQuery, at: float, via: str,
                              answers: list, reason: str = "") -> Ticket:
@@ -249,6 +290,19 @@ class ShardedQService:
         self._now = max(self._now, until)
         for worker in self.workers:
             worker.step(self._now)
+        # Keep the in-flight registry proportional to what is actually
+        # in flight: resolved leaders are pruned lazily on same-key
+        # access, but keys never repeated would otherwise accumulate
+        # forever.  Amortized O(1): the sweep runs only once the dict
+        # outgrows the live count.
+        leaders = self._inflight_leaders
+        live = sum(w.in_flight_count + w.deferred_count
+                   for w in self.workers)
+        if len(leaders) > 32 + 2 * live:
+            self._inflight_leaders = {
+                key: ticket for key, ticket in leaders.items()
+                if ticket.status not in ("done", "rejected")
+            }
 
     def drain(self) -> ShardedReport:
         """Finish every admitted query on every shard and return the

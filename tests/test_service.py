@@ -224,6 +224,30 @@ class TestResultCache:
         with pytest.raises(ValueError):
             ResultCache(capacity=0)
 
+    def test_capacity_pressure_purges_expired_before_evicting(self):
+        """PR 3 regression: a full cache drops *stale* entries first --
+        a live entry must never be evicted while an expired one sits
+        resident, and the drop is ledgered as an expiration."""
+        cache = ResultCache(ttl=5.0, capacity=2)
+        k1, k2, k3 = (normalize_key((w,), 1) for w in ("a", "b", "c"))
+        cache.put(k1, [], now=0.0)          # will be expired at t=7
+        cache.put(k2, [], now=6.0)          # live at t=7
+        cache.put(k3, [], now=7.0)          # over capacity: k1 is stale
+        assert k1 not in cache
+        assert k2 in cache and k3 in cache  # the live LRU entry survived
+        assert cache.stats.expirations == 1
+        assert cache.stats.evictions == 0
+
+    def test_capacity_pressure_evicts_lru_when_all_live(self):
+        cache = ResultCache(ttl=100.0, capacity=2)
+        k1, k2, k3 = (normalize_key((w,), 1) for w in ("a", "b", "c"))
+        cache.put(k1, [], now=0.0)
+        cache.put(k2, [], now=1.0)
+        cache.put(k3, [], now=2.0)
+        assert k1 not in cache
+        assert cache.stats.evictions == 1
+        assert cache.stats.expirations == 0
+
 
 class TestAdmissionController:
     def test_accepts_under_budget(self):
@@ -307,7 +331,8 @@ class TestEngineIncrementalAPI:
             run_engine.submit(kq)
         stepped.step(1.0)
         stepped.step(3.0)
-        report_a = stepped.drain()
+        stepped.drain()
+        report_a = stepped.report()
         report_b = run_engine.run()
         for kq in queries:
             got = [a.score for a in report_a.answers[kq.kq_id]]
@@ -401,6 +426,42 @@ class TestQServiceInterleaving:
         svc.drain()
         assert t2.done and t2.via == "engine"
         assert svc.cache.stats.expirations >= 1
+
+    def test_step_purges_expired_cache_entries_on_cadence(self, fed, index):
+        """PR 3 regression: expired entries are swept proactively by
+        ``step`` (quarter-TTL cadence), not only when someone happens
+        to look the key up."""
+        svc = make_service(fed, index, service=ServiceConfig(cache_ttl=5.0))
+        svc.submit(KeywordQuery("KQ1", ("protein", "plasma membrane"), k=K,
+                                arrival=0.0))
+        svc.drain()
+        assert len(svc.cache) == 1
+        svc.step(svc.engine.virtual_now() + 50.0)   # far past the TTL
+        assert len(svc.cache) == 0                  # swept without a get
+        assert svc.cache.stats.expirations == 1
+
+    def test_drain_requests_engine_report_once(self, fed, index,
+                                               monkeypatch):
+        """PR 3 regression: the service's drain loop no longer builds
+        (and discards) a full cumulative engine report per iteration;
+        the one report is built by ``report()`` on request."""
+        svc = make_service(fed, index)
+        calls = []
+        original = type(svc.engine).report
+
+        def counting(engine_self):
+            calls.append(1)
+            return original(engine_self)
+
+        monkeypatch.setattr(type(svc.engine), "report", counting)
+        svc.submit(KeywordQuery("KQ1", ("protein", "plasma membrane"),
+                                k=K, arrival=0.0))
+        svc.submit(KeywordQuery("KQ2", ("membrane", "gene"), k=K,
+                                arrival=0.5))
+        assert svc.engine.drain() is None   # drain is now report-free
+        report = svc.drain()
+        assert report.engine_report is not None
+        assert len(calls) == 1
 
     def test_identical_in_flight_query_coalesces(self, fed, index):
         svc = make_service(fed, index)

@@ -33,6 +33,13 @@ ops = st.lists(
     min_size=1, max_size=40,
 )
 
+#: Same, with explicit purge_expired interleaved.
+ops_with_purge = st.lists(
+    st.tuples(st.sampled_from(("put", "get", "purge")), keys,
+              st.floats(min_value=0.0, max_value=4.0, allow_nan=False)),
+    min_size=1, max_size=50,
+)
+
 
 def payload(i: int) -> list[RankedAnswer]:
     """A distinguishable answer list (the insertion index is the marker)."""
@@ -96,6 +103,44 @@ class TestCacheProperties:
         cased = [w.upper() if seed.random() < 0.5 else w for w in shuffled]
         assert normalize_key(cased, k) == normalize_key(words, k)
         assert normalize_key(cased, k + 1) != normalize_key(words, k)
+
+    @given(ops=ops_with_purge,
+           capacity=st.integers(min_value=1, max_value=3),
+           ttl=st.floats(min_value=0.5, max_value=3.0, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_ledger_invariant_and_expired_before_live(self, ops, capacity,
+                                                      ttl):
+        """The PR 3 eviction-fix pin: under interleaved put/get/purge
+        at capacity with TTL expiry,
+
+        * the stats ledger (``insertions - evictions - expirations -
+          overwrites == len(cache)``) closes after *every* operation,
+          and
+        * an eviction (capacity removal of a *live* entry) only ever
+          happens when no expired entry is resident -- stale entries
+          are purged (and counted as expirations) first.
+        """
+        cache = ResultCache(ttl=ttl, capacity=capacity)
+        now = 0.0
+        for i, (kind, (words, k), gap) in enumerate(ops):
+            now += gap
+            key = normalize_key(words, k)
+            evictions_before = cache.stats.evictions
+            if kind == "put":
+                cache.put(key, payload(i), now=now)
+            elif kind == "get":
+                cache.get(key, now=now)
+            else:
+                cache.purge_expired(now)
+            stats = cache.stats
+            assert len(cache) == (stats.insertions - stats.evictions
+                                  - stats.expirations - stats.overwrites)
+            assert len(cache) <= capacity
+            if stats.evictions > evictions_before:
+                # A live entry was dropped for capacity: every entry
+                # still resident must itself be live.
+                assert all(now - entry.stored_at <= cache.ttl
+                           for entry in cache._entries.values())
 
     @given(ops=ops, capacity=st.integers(min_value=1, max_value=2))
     @settings(max_examples=100, deadline=None)

@@ -292,6 +292,71 @@ class TestShardedMechanics:
         assert t1.done and t2.done and t2.via == "engine"
         assert calls == ["KQ1", "KQ2"]
 
+    def test_inflight_twin_pinned_to_leader_shard(self, fed, index):
+        """PR 3 regression: under round-robin routing an identical
+        in-flight query must be pinned to its leader's shard and
+        coalesced there -- previously the rotation sent it to the other
+        shard and both copies executed the full plan."""
+        fleet = ShardedQService(fed, config_for(SharingMode.ATC_FULL),
+                                n_shards=2, routing="roundrobin",
+                                index=index)
+        t1 = fleet.submit(KeywordQuery(
+            "KQ1", ("protein", "plasma membrane"), k=K, arrival=0.0))
+        fleet.step(2.1)   # dispatched, mid-execution
+        assert t1.status == "in-flight" and t1.shard == 0
+        t2 = fleet.submit(KeywordQuery(
+            "KQ2", ("Plasma Membrane", "PROTEIN"), k=K, arrival=2.2))
+        # Round-robin alone would have rotated KQ2 onto shard 1.
+        assert t2.shard == 0
+        assert t2.via == "coalesced"
+        assert fleet.routing_stats.affinity_overrides == 1
+        assert fleet.routing_stats.routed == [2, 0]
+        fleet.drain()
+        assert t1.done and t2.done
+        assert [a.score for a in t2.answers] == \
+            [a.score for a in t1.answers]
+        # Shard 1 never executed anything.
+        shard1 = fleet.workers[1].engine.report()
+        assert shard1.metrics.total_input_tuples == 0
+
+    def test_affinity_override_expires_with_leader(self, fed, index):
+        """Once the leader resolves, repeats go through the cache (or
+        normal routing) -- the registry prunes itself on access."""
+        fleet = ShardedQService(fed, config_for(SharingMode.ATC_FULL),
+                                n_shards=2, routing="roundrobin",
+                                index=index)
+        fleet.submit(KeywordQuery("KQ1", ("protein", "plasma membrane"),
+                                  k=K, arrival=0.0))
+        fleet.drain()
+        t2 = fleet.submit(KeywordQuery(
+            "KQ2", ("protein", "plasma membrane"), k=K,
+            arrival=fleet.workers[0].engine.virtual_now() + 1.0))
+        assert t2.via == "cache"
+        assert fleet.routing_stats.affinity_overrides == 0
+        # Far past the TTL the cache misses; the resolved leader must
+        # be pruned (not pinned to) and the policy routes normally.
+        t3 = fleet.submit(KeywordQuery(
+            "KQ3", ("protein", "plasma membrane"), k=K,
+            arrival=fleet.workers[0].engine.virtual_now() + 1000.0))
+        assert fleet.routing_stats.affinity_overrides == 0
+        assert t3.shard == 1   # round-robin rotation, no pinning
+        fleet.drain()
+        assert t3.done
+
+    def test_coalesce_disabled_skips_pinning(self, fed, index):
+        fleet = ShardedQService(
+            fed, config_for(SharingMode.ATC_FULL), n_shards=2,
+            routing="roundrobin", index=index,
+            service=ServiceConfig(coalesce=False))
+        fleet.submit(KeywordQuery("KQ1", ("protein", "plasma membrane"),
+                                  k=K, arrival=0.0))
+        fleet.step(2.1)
+        t2 = fleet.submit(KeywordQuery(
+            "KQ2", ("protein", "plasma membrane"), k=K, arrival=2.2))
+        assert t2.shard == 1          # rotation, no pinning
+        assert fleet.routing_stats.affinity_overrides == 0
+        fleet.drain()
+
     def test_duplicate_keywords_colocate_with_canonical_form(
             self, fed, index):
         """hash routing places cache-identical queries (duplicates and

@@ -127,6 +127,17 @@ class TestRandomAccessSource:
         assert source.clear_cache() == 3
         assert source.cache_size == 0
 
+    def test_cache_size_tracks_residency_without_caching(
+            self, triple_federation):
+        """PR 3 regression: with ``use_cache=False`` every probe of the
+        same key overwrites its slot; the gauge (the admission
+        controller's state input) must track residency, not traffic."""
+        source, _c, _m = self.make(triple_federation)
+        source.use_cache = False
+        for _ in range(5):
+            source.probe("x", 2)
+        assert source.cache_size == 2   # the 2 resident rows, not 10
+
     def test_max_contribution(self, triple_federation):
         source, _c, _m = self.make(triple_federation)
         assert source.max_contribution() == 0.0
