@@ -24,7 +24,6 @@ Typical use::
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.atc.batcher import Batch, QueryBatcher
@@ -35,12 +34,10 @@ from repro.data.database import Federation
 from repro.data.inverted import InvertedIndex
 from repro.keyword.candidates import CandidateNetworkGenerator
 from repro.keyword.queries import KeywordQuery, RankedAnswer, UserQuery
-from repro.optimizer.bestplan import BestPlanSearch
-from repro.optimizer.candidates import enumerate_candidates, streamable_aliases
 from repro.optimizer.cost import CostModel
-from repro.optimizer.factorize import factorize
+from repro.optimizer.repository import PlanRepository
 from repro.plan.graph import PlanGraph
-from repro.stats.metrics import Metrics, OptimizerRecord, UQRecord
+from repro.stats.metrics import Metrics, UQRecord
 
 
 @dataclass
@@ -95,12 +92,20 @@ class QSystemEngine:
 
     def __init__(self, federation: Federation, config: ExecutionConfig,
                  generator: CandidateNetworkGenerator | None = None,
-                 index: InvertedIndex | None = None) -> None:
+                 index: InvertedIndex | None = None,
+                 repository: PlanRepository | None = None) -> None:
         self.federation = federation
         self.config = config
         self.index = index if index is not None else InvertedIndex(federation)
+        #: The plan repository may be an externally owned, *shared*
+        #: tier: the sharded service hands every shard worker the same
+        #: instance, because plans derived from the same federation are
+        #: shard-independent.
+        self.repository = repository if repository is not None \
+            else PlanRepository(federation, config)
         self.generator = generator or CandidateNetworkGenerator(
             federation, index=self.index, max_cqs=config.max_cqs_per_uq,
+            repository=self.repository,
         )
         self.batcher = QueryBatcher(batch_size=config.batch_size,
                                     window=config.batch_window)
@@ -309,51 +314,22 @@ class QSystemEngine:
 
     def _optimize_and_graft(self, graph: PlanGraph,
                             uqs: list[UserQuery]) -> None:
-        sharing = self.config.shares_within_uq
-        cqs = [cq for uq in uqs for cq in uq.cqs]
+        """Optimize one group through the plan repository and graft the
+        resulting plan.  The repository serves candidate enumeration,
+        best-plan search, and factorization from its caches whenever
+        the group's templates (and the reuse oracle's fingerprint)
+        match earlier work; the measured wall time -- cache hits make
+        it small -- is charged to the graph's virtual clock exactly as
+        a fresh optimization would be.
+        """
         scope = graph.graph_id if self.config.shares_across_uqs \
             else uqs[0].uq_id
         oracle = self.qs.oracle_for(graph) if self.config.reuses_state \
             else None
-
-        started = time.perf_counter()
-        candidate_set = enumerate_candidates(
-            cqs, self.federation, self.cost_model, self.config,
-            sharing=sharing,
-        )
-        streamable = {}
-        for cq in cqs:
-            aliases = streamable_aliases(cq, self.federation, self.config)
-            if not aliases:
-                # Safeguard: a CQ whose every atom is score-less and
-                # large still needs one driving stream; pick the
-                # smallest relation.
-                fallback = min(
-                    cq.expr.atoms,
-                    key=lambda a: self.federation.cardinality(a.relation),
-                )
-                aliases = {fallback.alias}
-            streamable[cq.cq_id] = aliases
-        search = BestPlanSearch(
-            cqs=cqs,
-            candidates=candidate_set,
-            cost_model=self.cost_model,
-            config=self.config,
-            streamable=streamable,
-            probes={},
-            oracle=oracle,
-        )
-        result = search.run()
-        plan = factorize(result, cqs, self.cost_model, scope,
-                         sharing=sharing)
-        wall = time.perf_counter() - started
-        graph.clock.advance(wall * self.config.optimizer_time_scale)
-        graph.metrics.optimizer_records.append(OptimizerRecord(
-            candidate_count=result.searched_candidates
-            + len(candidate_set.pushdowns),
-            plans_explored=result.plans_explored,
-            elapsed_wall=wall,
-            batch_size=len(uqs),
-        ))
-        self.qs.register_plan(graph, plan, uqs)
+        outcome = self.repository.optimize(
+            uqs, scope=scope, oracle=oracle, cost_model=self.cost_model)
+        graph.clock.advance(
+            outcome.record.elapsed_wall * self.config.optimizer_time_scale)
+        graph.metrics.optimizer_records.append(outcome.record)
+        self.qs.register_plan(graph, outcome.plan, uqs)
         self.qs.unpin_all(graph)

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import itertools
 from collections.abc import Callable, Mapping, Sequence
+from typing import TYPE_CHECKING
 
 from repro.common.errors import QueryError
 from repro.data.database import Federation
@@ -32,6 +33,9 @@ from repro.data.schema import Schema, SchemaEdge
 from repro.keyword.queries import ConjunctiveQuery, KeywordQuery, UserQuery
 from repro.plan.expressions import SPJ, Atom, JoinPred, Selection
 from repro.scoring.models import qsystem_score
+
+if TYPE_CHECKING:  # avoid a runtime cycle with the optimizer package
+    from repro.optimizer.repository import ExpansionTemplate, PlanRepository
 
 #: Signature of a scoring factory: (expr, federation) -> MonotoneScore.
 ScoreFactory = Callable[[SPJ, Federation], object]
@@ -44,7 +48,8 @@ class CandidateNetworkGenerator:
                  score_factory: ScoreFactory | None = None,
                  max_cqs: int = 20, max_tree_size: int = 7,
                  max_matches_per_keyword: int = 4,
-                 alternates_per_combination: int = 2) -> None:
+                 alternates_per_combination: int = 2,
+                 repository: "PlanRepository | None" = None) -> None:
         self.federation = federation
         self.schema: Schema = federation.schema
         self.index = index if index is not None else InvertedIndex(federation)
@@ -53,11 +58,42 @@ class CandidateNetworkGenerator:
         self.max_tree_size = max_tree_size
         self.max_matches_per_keyword = max_matches_per_keyword
         self.alternates_per_combination = alternates_per_combination
+        #: When set, keyword-set -> expansion templates are interned in
+        #: the plan repository: a repeated keyword set (in any order,
+        #: duplicates collapsed) instantiates the cached template under
+        #: fresh query ids instead of re-enumerating join trees.
+        self.repository = repository
 
     # -- public API -----------------------------------------------------------
 
     def generate(self, kq: KeywordQuery) -> UserQuery:
         """Expand one keyword query into its user query."""
+        template = None
+        if self.repository is not None:
+            template = self.repository.lookup_expansion(kq.keywords)
+        if template is None:
+            template = self._expand_template(kq)
+            if self.repository is not None:
+                self.repository.store_expansion(kq.keywords, template)
+        cqs = [
+            ConjunctiveQuery(
+                cq_id=f"{kq.kq_id}-cq{i}",
+                uq_id=kq.kq_id,
+                expr=expr,
+                score=score,  # type: ignore[arg-type]
+                matches=matches,
+            )
+            for i, (expr, score, matches) in enumerate(template)
+        ]
+        return UserQuery(uq_id=kq.kq_id, keywords=kq.keywords, cqs=cqs,
+                         k=kq.k, arrival=kq.arrival, user=kq.user)
+
+    def _expand_template(self, kq: KeywordQuery) -> "ExpansionTemplate":
+        """The expensive half of :meth:`generate`: keyword matching,
+        join-tree enumeration, and scoring.  Returns the (expr, score,
+        matches) triples in enumeration order -- everything about the
+        expansion except the query ids, which is what makes the result
+        a reusable template."""
         matches = {
             keyword: self.index.matches(keyword,
                                         self.max_matches_per_keyword)
@@ -69,19 +105,12 @@ class CandidateNetworkGenerator:
                 f"{kq.kq_id}: no relation matches keywords {empty}"
             )
         trees = self._enumerate_trees(matches)
-        cqs: list[ConjunctiveQuery] = []
-        for i, (tree, combo) in enumerate(trees[: self.max_cqs]):
+        template = []
+        for tree, combo in trees[: self.max_cqs]:
             expr = self._tree_to_spj(tree, combo)
             score = self.score_factory(expr, self.federation)
-            cqs.append(ConjunctiveQuery(
-                cq_id=f"{kq.kq_id}-cq{i}",
-                uq_id=kq.kq_id,
-                expr=expr,
-                score=score,  # type: ignore[arg-type]
-                matches=tuple(combo),
-            ))
-        return UserQuery(uq_id=kq.kq_id, keywords=kq.keywords, cqs=cqs,
-                         k=kq.k, arrival=kq.arrival, user=kq.user)
+            template.append((expr, score, tuple(combo)))
+        return tuple(template)
 
     # -- tree enumeration -------------------------------------------------------
 

@@ -1,11 +1,12 @@
 """Multi-query optimization: candidates, BestPlan, factorization,
-clustering, cost model."""
+clustering, cost model, and the incremental plan repository."""
 
 from repro.optimizer.bestplan import BestPlanResult, BestPlanSearch
 from repro.optimizer.candidates import (
     CandidateSet,
     InputCandidate,
     base_input_expr,
+    driving_stream_aliases,
     enumerate_candidates,
     probe_aliases,
     streamable_aliases,
@@ -20,7 +21,14 @@ from repro.optimizer.factorize import (
     ComponentSpec,
     FactorizedPlan,
     SourceSpec,
+    component_node_id,
     factorize,
+    source_node_id,
+)
+from repro.optimizer.repository import (
+    OptimizeOutcome,
+    PlanRepository,
+    RepositoryStats,
 )
 
 __all__ = [
@@ -32,13 +40,19 @@ __all__ = [
     "FactorizedPlan",
     "IncrementalClusterer",
     "InputCandidate",
+    "OptimizeOutcome",
+    "PlanRepository",
+    "RepositoryStats",
     "ReuseOracle",
     "SourceSpec",
     "base_input_expr",
     "cluster_user_queries",
+    "component_node_id",
+    "driving_stream_aliases",
     "enumerate_candidates",
     "factorize",
     "jaccard",
     "probe_aliases",
+    "source_node_id",
     "streamable_aliases",
 ]

@@ -91,6 +91,27 @@ def streamable_aliases(cq: ConjunctiveQuery, federation: Federation,
     return out
 
 
+def driving_stream_aliases(cq: ConjunctiveQuery, federation: Federation,
+                           config: ExecutionConfig) -> set[str]:
+    """:func:`streamable_aliases`, guaranteed non-empty.
+
+    Every m-join needs at least one driving stream; a CQ whose every
+    atom is score-less *and* large has an empty streamable set, so the
+    smallest relation is promoted to a stream anyway (exhausting it is
+    the cheapest way to drive the join).  This used to be patched up
+    inline in the engine per CQ per batch; it is an optimizer-layer
+    decision and the plan repository memoizes it per CQ template.
+    """
+    aliases = streamable_aliases(cq, federation, config)
+    if not aliases:
+        fallback = min(
+            cq.expr.atoms,
+            key=lambda a: federation.cardinality(a.relation),
+        )
+        aliases = {fallback.alias}
+    return aliases
+
+
 def probe_aliases(cq: ConjunctiveQuery, federation: Federation,
                   config: ExecutionConfig) -> tuple[str, ...]:
     """The complement of :func:`streamable_aliases`, in atom order."""

@@ -34,6 +34,32 @@ def _digest(payload: object) -> str:
     return hashlib.blake2s(repr(payload).encode(), digest_size=8).hexdigest()
 
 
+def source_node_id(owner: str, expr: SPJ) -> str:
+    """The graft identity of one streaming input.
+
+    ``owner`` is the sharing scope (graph id, or the user/conjunctive
+    query id when sharing is off); the digest covers only the canonical
+    expression, so structurally identical inputs collide -- that
+    collision *is* the graft.
+    """
+    return f"src:{owner}:{_digest(expr.canonical_key)}"
+
+
+def component_node_id(owner: str, expr: SPJ,
+                      stream_children: tuple[str, ...],
+                      probe_atoms: tuple[str, ...]) -> str:
+    """The graft identity of one m-join component.
+
+    ``stream_children`` and ``probe_atoms`` must already be in the
+    spec's canonical (sorted, deduplicated) form.  Kept as a module
+    function so the plan repository can rebuild ids when it relabels a
+    cached plan onto fresh query identifiers.
+    """
+    return "cmp:%s:%s" % (
+        owner, _digest((expr.canonical_key, stream_children, probe_atoms)),
+    )
+
+
 @dataclass(frozen=True)
 class SourceSpec:
     """One streaming input of the assignment, to become an InputUnit."""
@@ -112,7 +138,7 @@ def factorize(result: BestPlanResult, cqs: list[ConjunctiveQuery],
             if cq_id not in cq_by_id:
                 continue
             sid_scope = shared_scope if shared_scope is not None else cq_id
-            source_id = f"src:{sid_scope}:{_digest(expr.canonical_key)}"
+            source_id = source_node_id(sid_scope, expr)
             if source_id not in plan.sources:
                 plan.sources[source_id] = SourceSpec(source_id, expr)
             regions[cq_id][source_id] = frozenset(expr.aliases)
@@ -234,11 +260,10 @@ def _apply_op(key: _OpKey, support: set[str], plan: FactorizedPlan,
         else:
             children.append(node_id)
     comp_scope = scope if sharing else f"{scope}:{sorted(support)[0]}"
-    comp_id = "cmp:%s:%s" % (
-        comp_scope,
-        _digest((combined.canonical_key, tuple(sorted(children)),
-                 tuple(sorted(probe_atoms)))),
-    )
+    stream_children = tuple(sorted(set(children)))
+    probe_atom_set = tuple(sorted(set(probe_atoms)))
+    comp_id = component_node_id(comp_scope, combined, stream_children,
+                                probe_atom_set)
     existing = plan.components.get(comp_id)
     if existing is not None:
         existing.cqs.update(support)
@@ -246,8 +271,8 @@ def _apply_op(key: _OpKey, support: set[str], plan: FactorizedPlan,
         plan.components[comp_id] = ComponentSpec(
             comp_id=comp_id,
             expr=combined,
-            stream_children=tuple(sorted(set(children))),
-            probe_atoms=tuple(sorted(set(probe_atoms))),
+            stream_children=stream_children,
+            probe_atoms=probe_atom_set,
             cqs=set(support),
         )
     combined_aliases = frozenset(combined.aliases)

@@ -214,9 +214,16 @@ class SPJ:
         """The sub-expression induced by a subset of aliases.
 
         Keeps every join and selection whose aliases all fall inside the
-        subset.
+        subset.  Memoized per instance: the optimizer's plan search and
+        factorization induce the same fragments of the same (interned,
+        shared) expressions thousands of times per batch, and the
+        result is a pure function of the alias subset.
         """
-        keep = set(aliases)
+        keep = frozenset(aliases)
+        cache = self.__dict__.setdefault("_induced_cache", {})
+        cached = cache.get(keep)
+        if cached is not None:
+            return cached
         unknown = keep - set(self.aliases)
         if unknown:
             raise QueryError(f"cannot induce on unknown aliases {sorted(unknown)}")
@@ -224,7 +231,10 @@ class SPJ:
         joins = [j for j in self.joins
                  if j.left_alias in keep and j.right_alias in keep]
         selections = [s for s in self.selections if s.alias in keep]
-        return SPJ(atoms, joins, selections)
+        result = self if keep == frozenset(self.aliases) \
+            else SPJ(atoms, joins, selections)
+        cache[keep] = result
+        return result
 
     def connected_subexpressions(self, min_size: int = 1,
                                  max_size: int | None = None
@@ -233,10 +243,24 @@ class SPJ:
 
         Enumeration grows connected alias sets breadth-first and
         deduplicates by frozenset, so each subset is yielded exactly
-        once.  ``max_size`` defaults to the full expression size.
+        once.  ``max_size`` defaults to the full expression size.  The
+        enumerated fragment list is memoized per (min, max) window --
+        the AND-OR construction re-enumerates the same interned query
+        expressions every batch.
         """
         if max_size is None:
             max_size = self.size
+        memo = self.__dict__.setdefault("_fragment_cache", {})
+        cached = memo.get((min_size, max_size))
+        if cached is not None:
+            yield from cached
+            return
+        fragments = list(self._enumerate_connected(min_size, max_size))
+        memo[(min_size, max_size)] = tuple(fragments)
+        yield from fragments
+
+    def _enumerate_connected(self, min_size: int,
+                             max_size: int) -> Iterator["SPJ"]:
         seen: set[frozenset[str]] = set()
         frontier: list[frozenset[str]] = []
         for alias in self.aliases:
@@ -263,6 +287,31 @@ class SPJ:
         for size in range(min_size, max_size + 1):
             for subset in sorted(by_size.get(size, ()), key=sorted):
                 yield self.induced(subset)
+
+    def renamed(self, mapping: Mapping[str, str]) -> "SPJ":
+        """The same expression with aliases renamed through ``mapping``.
+
+        Aliases absent from the mapping keep their names; the mapping
+        must not collapse two aliases into one.  Renaming never changes
+        :attr:`canonical_key` -- that is the invariant the plan
+        repository's template signatures rest on.
+        """
+        new_names = [mapping.get(a, a) for a in self.aliases]
+        if len(set(new_names)) != len(new_names):
+            raise QueryError(f"renaming {dict(mapping)} collapses aliases")
+        atoms = [Atom(mapping.get(a.alias, a.alias), a.relation)
+                 for a in self.atoms]
+        joins = [
+            JoinPred.normalized(
+                mapping.get(p.left_alias, p.left_alias), p.left_attr,
+                mapping.get(p.right_alias, p.right_alias), p.right_attr)
+            for p in self.joins
+        ]
+        selections = [
+            Selection(mapping.get(s.alias, s.alias), s.attr, s.op, s.value)
+            for s in self.selections
+        ]
+        return SPJ(atoms, joins, selections)
 
     def overlaps(self, other: "SPJ") -> bool:
         """Whether the two expressions share any alias."""
@@ -389,8 +438,19 @@ def _attr_of(pred: JoinPred, alias: str) -> str:
     return attr
 
 
+def canonical_digest(payload: object, digest_size: int = 10) -> str:
+    """The repo-wide canonical-hash scheme: blake2s over ``repr``.
+
+    Shared so that every structural digest (expression canonical keys,
+    CQ template signatures) changes in one place if the scheme ever
+    needs to.
+    """
+    return hashlib.blake2s(repr(payload).encode(),
+                           digest_size=digest_size).hexdigest()
+
+
 def _digest(payload: object) -> str:
-    return hashlib.blake2s(repr(payload).encode(), digest_size=10).hexdigest()
+    return canonical_digest(payload)
 
 
 def make_chain(relations: list[tuple[str, str, str, str]],

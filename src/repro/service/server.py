@@ -41,6 +41,7 @@ from repro.data.database import Federation
 from repro.data.inverted import InvertedIndex
 from repro.keyword.candidates import CandidateNetworkGenerator
 from repro.keyword.queries import KeywordQuery, RankedAnswer, UserQuery
+from repro.optimizer.repository import PlanRepository
 from repro.service.admission import AdmissionController
 from repro.service.cache import CacheKey, ResultCache, normalize_key
 from repro.service.telemetry import Telemetry
@@ -128,10 +129,16 @@ class QService:
                  service: ServiceConfig | None = None,
                  generator: CandidateNetworkGenerator | None = None,
                  index: InvertedIndex | None = None,
-                 cache: ResultCache | None = None) -> None:
+                 cache: ResultCache | None = None,
+                 repository: PlanRepository | None = None) -> None:
         self.service_config = service or ServiceConfig()
+        # ``repository`` may, like the cache, be a shared tier: the
+        # sharded service hands every shard the same plan repository,
+        # so one shard's optimization work serves every shard's
+        # repeats.
         self.engine = QSystemEngine(federation, config,
-                                    generator=generator, index=index)
+                                    generator=generator, index=index,
+                                    repository=repository)
         # ``cache`` may be an externally owned, *shared* tier: the
         # sharded service hands every shard the same instance, so one
         # shard's completions serve every shard's repeats.
@@ -326,11 +333,13 @@ class QService:
         return self.report()
 
     def report(self) -> ServiceReport:
+        engine_report = self.engine.report()
+        self.telemetry.sync_optimizer(engine_report.metrics.optimizer_records)
         return ServiceReport(
             telemetry=self.telemetry,
             cache_stats=self.cache.stats.snapshot(),
             admission_stats=self.admission.snapshot(),
-            engine_report=self.engine.report(),
+            engine_report=engine_report,
             tickets=list(self.tickets),
         )
 

@@ -45,6 +45,7 @@ from repro.data.database import Federation
 from repro.data.inverted import InvertedIndex
 from repro.keyword.candidates import CandidateNetworkGenerator
 from repro.keyword.queries import KeywordQuery, UserQuery
+from repro.optimizer.repository import PlanRepository
 from repro.service.cache import ResultCache, normalize_key
 from repro.service.routing import RoutingPolicy, make_router
 from repro.service.server import (
@@ -150,11 +151,16 @@ class ShardedQService:
         self.service_config = service or ServiceConfig()
         self.spill_over = spill_over
         self.index = index if index is not None else InvertedIndex(federation)
+        # One plan repository for the whole fleet: plans derived from
+        # the same federation are shard-independent, so without a
+        # shared tier N shards would each derive N identical plans.
+        self.repository = PlanRepository(federation, config)
         # One expansion pipeline for the whole fleet: the router may
         # need the candidate networks before placement, and shards
         # should not each rebuild the inverted index.
         self.generator = generator or CandidateNetworkGenerator(
-            federation, index=self.index, max_cqs=config.max_cqs_per_uq)
+            federation, index=self.index, max_cqs=config.max_cqs_per_uq,
+            repository=self.repository)
         self.cache = ResultCache(ttl=self.service_config.cache_ttl,
                                  capacity=self.service_config.cache_capacity)
         self.router = make_router(
@@ -165,7 +171,7 @@ class ShardedQService:
         self.workers = [
             QService(federation, config, service=self.service_config,
                      generator=self.generator, index=self.index,
-                     cache=self.cache)
+                     cache=self.cache, repository=self.repository)
             for _ in range(n_shards)
         ]
         #: Front-door telemetry: arrivals served by the shared cache

@@ -70,6 +70,15 @@ class Telemetry:
     no_results: int = 0
     first_arrival: float | None = None
     last_event: float = 0.0
+    #: Optimizer visibility, synced from the engine's per-invocation
+    #: records (absolute totals, overwritten on every sync -- so the
+    #: sync is idempotent and a merged fleet view simply sums shards).
+    optimizer_wall: float = 0.0
+    optimizer_invocations: int = 0
+    plans_explored: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    plan_delta_grafts: int = 0
 
     # -- recording ----------------------------------------------------------
 
@@ -102,6 +111,19 @@ class Telemetry:
     def record_no_results(self) -> None:
         self.no_results += 1
 
+    def sync_optimizer(self, records: Iterable) -> None:
+        """Refresh the optimizer totals from the engine's cumulative
+        :class:`~repro.stats.metrics.OptimizerRecord` list.  Absolute
+        overwrite, not accumulation: the record list itself is
+        cumulative, so re-syncing at every report stays correct."""
+        records = list(records)
+        self.optimizer_invocations = len(records)
+        self.optimizer_wall = sum(r.elapsed_wall for r in records)
+        self.plans_explored = sum(r.plans_explored for r in records)
+        self.plan_cache_hits = sum(r.cache_hits for r in records)
+        self.plan_cache_misses = sum(r.cache_misses for r in records)
+        self.plan_delta_grafts = sum(r.delta_grafts for r in records)
+
     # -- merging -------------------------------------------------------------
 
     @classmethod
@@ -122,6 +144,12 @@ class Telemetry:
             out.rejected += part.rejected
             out.deferred += part.deferred
             out.no_results += part.no_results
+            out.optimizer_wall += part.optimizer_wall
+            out.optimizer_invocations += part.optimizer_invocations
+            out.plans_explored += part.plans_explored
+            out.plan_cache_hits += part.plan_cache_hits
+            out.plan_cache_misses += part.plan_cache_misses
+            out.plan_delta_grafts += part.plan_delta_grafts
             if part.first_arrival is not None and (
                     out.first_arrival is None
                     or part.first_arrival < out.first_arrival):
@@ -165,6 +193,24 @@ class Telemetry:
             return float("inf")
         return self.completed / span
 
+    def optimizer_share(self) -> float | None:
+        """Cumulative optimizer wall seconds per virtual serving
+        second.  ``None`` while the serving window is empty (a share of
+        a zero-width window is undefined, not zero)."""
+        span = self.elapsed()
+        if span <= 0.0:
+            return None
+        return self.optimizer_wall / span
+
+    def plan_cache_hit_rate(self) -> float | None:
+        """Plan-repository hits over lookups; ``None`` before the
+        optimizer ran (or with the plan cache disabled, which performs
+        no lookups at all)."""
+        lookups = self.plan_cache_hits + self.plan_cache_misses
+        if not lookups:
+            return None
+        return self.plan_cache_hits / lookups
+
     def summary(self) -> dict[str, float | None]:
         out = {
             "submitted": float(self.submitted),
@@ -177,6 +223,11 @@ class Telemetry:
             "elapsed_virtual_s": self.elapsed(),
             "throughput_qps": self.throughput(),
             "mean_latency": self.mean_latency(),
+            "optimizer_wall_s": self.optimizer_wall,
+            "optimizer_share": self.optimizer_share(),
+            "plans_explored": float(self.plans_explored),
+            "plan_cache_hit_rate": self.plan_cache_hit_rate(),
+            "plan_delta_grafts": float(self.plan_delta_grafts),
         }
         out.update(self.latency_percentiles())
         return out
@@ -184,6 +235,7 @@ class Telemetry:
     def render(self, cache_hit_rate: float | None = None) -> str:
         """The operator's summary block (the ``serve`` command prints it)."""
         pcts = self.latency_percentiles()
+        hit_rate = self.plan_cache_hit_rate()
         lines = [
             f"served    : {self.completed}/{self.submitted} queries "
             f"({self.served_from_cache} from cache, "
@@ -195,6 +247,12 @@ class Telemetry:
             f"(mean {fmt_stat(self.mean_latency(), 's')}, virtual)",
             f"throughput: {fmt_stat(self.throughput(), '', 2)} "
             f"queries/virtual s over {self.elapsed():.1f}s",
+            f"optimizer : {self.optimizer_wall:.3f}s wall over "
+            f"{self.optimizer_invocations} invocations "
+            f"(share {fmt_stat(self.optimizer_share(), '', 3)}), "
+            f"{self.plans_explored} plans explored, plan cache "
+            + ("n/a" if hit_rate is None else f"{hit_rate:.1%} hits")
+            + f" ({self.plan_delta_grafts} delta grafts)",
         ]
         if cache_hit_rate is not None:
             lines.append(f"cache     : {cache_hit_rate:.1%} hit rate")

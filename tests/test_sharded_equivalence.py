@@ -51,9 +51,9 @@ def load(fed, index):
                                          seed=5), index=index)
 
 
-def config_for(mode):
+def config_for(mode, **overrides):
     return ExecutionConfig(mode=mode, k=K, seed=1, batch_window=2.0,
-                           delays=DelayModel(deterministic=True))
+                           delays=DelayModel(deterministic=True), **overrides)
 
 
 def answer_sets(tickets):
@@ -78,6 +78,17 @@ def answer_sets(tickets):
             for a in t.answers if round(a.score, 6) > cutoff)
         out[t.kq_id] = (scores, rows)
     return out
+
+
+def exact_answers(tickets):
+    """Per query: the ranked answer list, byte-for-byte (scores in
+    order, provenance included) -- the strict form of
+    :func:`answer_sets`, for runs whose *scheduling* is identical and
+    only the plan repository differs."""
+    return {
+        t.kq_id: [(a.score, tuple(sorted(a.provenance))) for a in t.answers]
+        for t in tickets
+    }
 
 
 @pytest.fixture(scope="module")
@@ -131,6 +142,57 @@ class TestShardCountInvariance:
         assert report.fleet.completed == len(load)
         assert answer_sets(report.tickets) == \
             baselines[SharingMode.ATC_FULL]
+
+
+class TestPlanCacheInvariance:
+    """The plan repository must be answer-invariant: byte-identical
+    results with the cache enabled vs disabled, at every sharing mode
+    and shard count."""
+
+    @pytest.mark.parametrize("mode", ALL_MODES, ids=str)
+    def test_single_engine_byte_identical(self, fed, index, load, mode):
+        reports = {}
+        for plan_cache in (True, False):
+            svc = QService(fed, config_for(mode, plan_cache=plan_cache),
+                           index=index)
+            reports[plan_cache] = svc.run(load)
+        assert exact_answers(reports[True].tickets) == \
+            exact_answers(reports[False].tickets)
+
+    @pytest.mark.parametrize("mode", ALL_MODES, ids=str)
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_fleet_without_cache_matches_baseline(self, fed, index, load,
+                                                  baselines, mode, shards):
+        """The cache-enabled fleet matrix already matches the
+        baselines; the disabled fleet must land on the same answers,
+        closing the 4 modes x 1/2/4 shards x cache on/off square."""
+        fleet = ShardedQService(fed, config_for(mode, plan_cache=False),
+                                n_shards=shards, routing="cluster",
+                                index=index)
+        report = fleet.run(load)
+        assert report.fleet.completed == len(load)
+        assert answer_sets(report.tickets) == baselines[mode]
+
+    @pytest.mark.parametrize("mode", ALL_MODES, ids=str)
+    def test_byte_identical_when_repeats_reach_optimizer(self, fed, index,
+                                                         load, mode):
+        """The answer cache normally absorbs the Zipf head before the
+        optimizer sees it; with coalescing off and an expiring cache
+        every repeat re-optimizes, so the repository's template,
+        best-plan, and fragment layers all actually serve hits -- and
+        the answers must still be byte-identical to the uncached run."""
+        reports = {}
+        for plan_cache in (True, False):
+            svc = QService(
+                fed, config_for(mode, plan_cache=plan_cache),
+                service=ServiceConfig(coalesce=False, cache_ttl=1e-9),
+                index=index)
+            reports[plan_cache] = svc.run(load)
+        hits = reports[True].telemetry.plan_cache_hits
+        assert hits > 0, "scenario must exercise the repository"
+        assert reports[False].telemetry.plan_cache_hits == 0
+        assert exact_answers(reports[True].tickets) == \
+            exact_answers(reports[False].tickets)
 
 
 class TestShardedMechanics:
