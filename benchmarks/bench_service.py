@@ -19,7 +19,19 @@ compares routing policies over the same saturating stream: placement
 that keeps overlapping queries on the same worker (cluster-affinity)
 must extract at least the sharing -- fewer input tuples for identical
 answers, no less throughput -- of content-blind keyword hashing.
+
+The v2 client API adds two streaming-era measures:
+
+* **TTFA** (time to first answer): a streaming consumer starts reading
+  the top-k as the rank-merge emits it, so its first-byte wait must be
+  strictly below the completion latency the batch API imposed;
+* **abandonment**: with a reneging client population (the load
+  generator's abandonment model), cancelled queries release their plan
+  share mid-flight -- the engine must do strictly *less* total input
+  work than when it carries every abandoned query to completion.
 """
+
+from dataclasses import replace
 
 from repro.common.config import ExecutionConfig, SharingMode
 from repro.data.gus import GUSConfig, gus_federation
@@ -30,6 +42,7 @@ from repro.service import (
     QService,
     ServiceConfig,
     ShardedQService,
+    generate_abandonments,
     generate_load,
 )
 
@@ -71,14 +84,16 @@ def test_service_throughput(benchmark, save_result):
               f"{LOAD.n_templates} Zipf templates)",
         x_label="mode",
         columns=["throughput q/s", "p50 s", "p95 s", "p99 s",
-                 "cache hit", "input tuples"],
+                 "ttfa p50 s", "ttfa p95 s", "cache hit", "input tuples"],
     )
     for mode, report in reports.items():
         tel = report.telemetry
         pcts = tel.latency_percentiles()
+        ttfa = tel.ttfa_percentiles()
         table.add_row(
             str(mode), tel.throughput(), pcts["p50"], pcts["p95"],
-            pcts["p99"], report.cache_hit_rate,
+            pcts["p99"], ttfa["ttfa_p50"], ttfa["ttfa_p95"],
+            report.cache_hit_rate,
             float(report.engine_report.metrics.total_input_tuples),
         )
     save_result("service", table.render())
@@ -95,6 +110,117 @@ def test_service_throughput(benchmark, save_result):
     # and consumes strictly fewer input tuples -- than no-sharing.
     assert tput[SharingMode.ATC_FULL] > tput[SharingMode.ATC_CQ]
     assert work[SharingMode.ATC_FULL] < work[SharingMode.ATC_CQ]
+    # Streaming pays: a consumer reading answers as they are emitted
+    # waits strictly less for its first answer than for the full top-k.
+    full = reports[SharingMode.ATC_FULL].telemetry
+    assert full.ttfa_percentiles()["ttfa_p50"] < \
+        full.latency_percentiles()["p50"]
+    assert full.ttfa_percentiles()["ttfa_p95"] < \
+        full.latency_percentiles()["p95"]
+
+
+def _answer_key(answers):
+    """One query's ranked answers in scheduling-independent form: the
+    ordered score sequence, plus the sorted (score, rows) bag -- rows
+    tying exactly at the top-k cutoff score are interchangeable members
+    of any valid top-k, so they are excluded from the bag."""
+    scores = [round(a.score, 9) for a in answers]
+    cutoff = min(scores, default=0.0)
+    rows = sorted(
+        (round(a.score, 9),
+         tuple(sorted((rel, tid) for _al, rel, tid in a.provenance)))
+        for a in answers if round(a.score, 9) > cutoff)
+    return scores, rows
+
+
+def run_abandonment_bench():
+    """The same saturating ATC-FULL stream with and without a reneging
+    client population (30% of clients walk away after an exponential
+    patience of mean 2 virtual seconds), under both serving postures:
+
+    * ``shared`` -- answer cache + coalescing on (the production
+      default).  Here cancellation is *not* free capacity: killing the
+      Zipf head's leading execution also destroys the amortization
+      every later repeat would have ridden, so total work barely moves
+      (or rises);
+    * ``solo`` -- cache and coalescing off, every arrival executes.
+      Here an abandoned query is pure waste, and cancelling it
+      mid-flight must reclaim input work, strictly.
+    """
+    federation = _federation()
+    index = InvertedIndex(federation)
+    abandon = replace(LOAD, abandon_prob=0.3, patience_mean=2.0)
+    load = generate_load(federation, abandon, index=index)
+    schedule = generate_abandonments(load, abandon)
+    postures = {
+        "shared": ServiceConfig(max_in_flight=256),
+        "solo": ServiceConfig(max_in_flight=256, coalesce=False,
+                              cache_ttl=1e-9),
+    }
+    reports = {}
+    for posture, service_config in postures.items():
+        for label, cancellations in (("patient", None),
+                                     ("reneging", schedule)):
+            config = ExecutionConfig(mode=SharingMode.ATC_FULL, k=LOAD.k,
+                                     batch_window=1.0,
+                                     optimizer_time_scale=0.0, seed=11)
+            service = QService(federation, config, service_config,
+                               index=index)
+            reports[(posture, label)] = service.run(
+                load, cancellations=cancellations)
+    return reports, schedule
+
+
+def test_service_abandonment(benchmark, save_result):
+    (reports, schedule) = benchmark.pedantic(run_abandonment_bench,
+                                             rounds=1, iterations=1)
+
+    table = SeriesTable(
+        title=f"Client abandonment, ATC-FULL ({LOAD.n_queries} queries at "
+              f"~{LOAD.rate_qps:.0f}/s, 30% renege, mean patience 2s)",
+        x_label="posture/clients",
+        columns=["completed", "cancelled", "ttfa p50 s", "ttfa p95 s",
+                 "input tuples", "tuples/served"],
+    )
+    for (posture, label), report in reports.items():
+        tel = report.telemetry
+        ttfa = tel.ttfa_percentiles()
+        work = report.engine_report.metrics.total_input_tuples
+        table.add_row(
+            f"{posture}/{label}", float(tel.completed),
+            float(tel.cancelled), ttfa["ttfa_p50"], ttfa["ttfa_p95"],
+            float(work), work / max(tel.completed, 1),
+        )
+    save_result("service_abandonment", table.render())
+
+    for posture in ("shared", "solo"):
+        patient = reports[(posture, "patient")]
+        reneging = reports[(posture, "reneging")]
+        assert patient.telemetry.cancelled == 0, posture
+        # The abandonment schedule actually bit: some impatient clients
+        # cancelled before their answer (the rest were answered first
+        # -- completion wins), and every query resolved exactly once.
+        tel = reneging.telemetry
+        assert 0 < tel.cancelled <= len(schedule), posture
+        assert tel.completed + tel.rejected + tel.cancelled + tel.expired \
+            == LOAD.n_queries, posture
+        # Surviving queries' answers are untouched by their
+        # neighbours' abandonment: every completed query's ranked
+        # answers match the patient run's, query by query, in the
+        # scheduling-independent form (equal-score ties may legally
+        # permute once cancellation perturbs the interleaving).
+        patient_answers = {
+            t.kq_id: _answer_key(t.answers) for t in patient.tickets
+        }
+        for t in reneging.tickets:
+            if t.done:
+                assert _answer_key(t.answers) == \
+                    patient_answers[t.kq_id], (posture, t.kq_id)
+    # Without reuse tiers an abandoned query is pure waste, and
+    # cancelling it mid-flight reclaims input work, strictly.
+    assert reports[("solo", "reneging")].engine_report.metrics \
+        .total_input_tuples < reports[("solo", "patient")] \
+        .engine_report.metrics.total_input_tuples
 
 
 def run_sharded_bench(n_shards: int, policies: list[str]):

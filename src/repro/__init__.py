@@ -25,8 +25,10 @@ Batch quickstart::
     print(report.answers["KQ1"])
 
 Online service quickstart -- the continuously operating middleware of
-Section 2, with answer caching, admission control, and open-loop load
-generation (:mod:`repro.service`)::
+Section 2 behind the v2 client API: ``submit`` returns a streaming,
+cancellable :class:`QueryHandle`, and both the single-node
+:class:`QService` and the sharded :class:`ShardedQService` implement
+the same :class:`QueryServiceProtocol` (:mod:`repro.service`)::
 
     from repro import (
         ExecutionConfig, KeywordQuery, LoadConfig, QService, ServiceConfig,
@@ -39,13 +41,20 @@ generation (:mod:`repro.service`)::
         ExecutionConfig(mode=SharingMode.ATC_FULL, k=10, batch_window=2.0),
         ServiceConfig(cache_ttl=300.0, max_in_flight=64),
     )
-    # One-off admission along a virtual-time arrival stream:
-    ticket = service.submit(KeywordQuery("Q1", ("protein", "gene"),
-                                         k=10, arrival=0.0))
+    # Admit one query along the virtual-time arrival stream; consume
+    # its ranked answers progressively as the engine emits them:
+    kq = KeywordQuery("Q1", ("protein", "gene"), k=10, arrival=0.0)
+    handle = service.submit(kq, deadline=kq.arrival + 30.0)
+    for answer in handle.results():          # streams; ends at top-k,
+        print(answer)                        # cancel, or deadline
+    # Abandon a query the user navigated away from:
+    h2 = service.submit(KeywordQuery("Q2", ("gene", "membrane"), k=10,
+                                     arrival=1.0))
+    h2.cancel()                    # frees its (unshared) plan state
     # ... or serve a whole open-loop Poisson/Zipf stream:
     report = service.run(generate_load(federation,
                                        LoadConfig(n_queries=200)))
-    print(report.render())   # p50/p95/p99, throughput, cache hit rate
+    print(report.render())   # p50/p95/p99, TTFA, throughput, hit rates
 """
 
 from repro.atc.engine import EngineReport, QSystemEngine
@@ -58,15 +67,19 @@ from repro.keyword.queries import ConjunctiveQuery, KeywordQuery, UserQuery
 from repro.service import (
     LoadConfig,
     QService,
+    QueryHandle,
+    QueryServiceProtocol,
+    QueryStatus,
     ServiceConfig,
     ServiceReport,
     ShardedQService,
     ShardedReport,
     Ticket,
+    generate_abandonments,
     generate_load,
 )
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "BioDBConfig",
@@ -81,6 +94,9 @@ __all__ = [
     "LoadConfig",
     "QService",
     "QSystemEngine",
+    "QueryHandle",
+    "QueryServiceProtocol",
+    "QueryStatus",
     "ServiceConfig",
     "ServiceReport",
     "ShardedQService",
@@ -91,6 +107,7 @@ __all__ = [
     "biodb_federation",
     "figure1_federation",
     "figure1_schema",
+    "generate_abandonments",
     "generate_load",
     "gus_federation",
     "__version__",

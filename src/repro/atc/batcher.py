@@ -85,6 +85,14 @@ class QueryBatcher:
         """User queries submitted but not yet handed to the optimizer."""
         return len(self._pending)
 
+    def remove(self, uq_id: str) -> UserQuery | None:
+        """Withdraw a still-collecting user query (cancellation before
+        dispatch); returns it, or ``None`` if it already batched."""
+        for i, uq in enumerate(self._pending):
+            if uq.uq_id == uq_id:
+                return self._pending.pop(i)
+        return None
+
     def _close(self, uqs: list[UserQuery],
                closed_at: float | None = None) -> Batch:
         batch = Batch(self._next_index, uqs, closed_at=closed_at)

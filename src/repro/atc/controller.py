@@ -16,8 +16,9 @@ either emits its top-k or exhausts every relevant stream.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
-from repro.atc.state_manager import QueryStateManager
+from repro.atc.state_manager import QueryStateManager, finalize_uq_record
 from repro.common.errors import ExecutionError
 from repro.operators.rankmerge import RankMerge
 from repro.plan.graph import PlanGraph
@@ -35,7 +36,8 @@ class ATCController:
         """Drive the graph until every rank-merge completes."""
         self.run_until(None)
 
-    def run_until(self, deadline: float | None) -> None:
+    def run_until(self, deadline: float | None,
+                  stop: "Callable[[], bool] | None" = None) -> None:
         """Drive the graph until completion or until its virtual clock
         reaches ``deadline``.
 
@@ -43,6 +45,12 @@ class ATCController:
         operation: the engine executes the current queries only up to
         the next batch's dispatch time, then grafts the new queries
         onto the still-running plan graph (Section 6.2) and resumes.
+
+        ``stop`` is an optional extra pause predicate, checked at the
+        same points as the deadline; the streaming client API uses it
+        to run the normal round-robin schedule only until one query's
+        rank-merge emits.  Pausing never alters the schedule -- the
+        same deterministic step sequence resumes on the next call.
         """
         # Anything this run reads, probes, releases, or grafts changes
         # the graph's stored-tuple count; invalidate the QS manager's
@@ -52,6 +60,8 @@ class ATCController:
         steps = 0
         while True:
             if deadline is not None and self.graph.clock.now >= deadline:
+                return
+            if stop is not None and stop():
                 return
             incomplete = self.graph.incomplete_rank_merges()
             if not incomplete:
@@ -70,6 +80,8 @@ class ATCController:
                 progressed |= self._step(rm)
                 if deadline is not None and \
                         self.graph.clock.now >= deadline:
+                    return
+                if stop is not None and stop():
                     return
             if not progressed:
                 # Nothing is readable, activatable, or emittable: every
@@ -136,12 +148,4 @@ class ATCController:
         self._record_completion(rm)
 
     def _record_completion(self, rm: RankMerge) -> None:
-        record = self.graph.metrics.uq_records.get(rm.uq.uq_id)
-        if record is None:
-            return
-        if record.completed is None:
-            record.completed = self.graph.clock.now
-        record.results_returned = len(rm.emitted)
-        record.cqs_total = len(rm.uq.cqs)
-        record.cqs_executed = rm.activations
-        self.graph.metrics.tuples_output += len(rm.emitted)
+        finalize_uq_record(self.graph, rm)

@@ -118,6 +118,18 @@ class QSystemEngine:
         #: not to every graph ever created (ATC-CQ makes one per user
         #: query).
         self._active_graphs: set[str] = set()
+        #: Per-query absolute virtual deadlines.  step()/drain()
+        #: segment execution at these instants and retire overdue
+        #: queries exactly there, so an expired query's answers-so-far
+        #: are what had been emitted *by the deadline*.
+        self._deadlines: dict[str, float] = {}
+        #: Queries retired early (cancelled/expired) since the last
+        #: :meth:`consume_retired` -- uq_id -> (how, instant, partial
+        #: answers, first-emission instant).  The serving layer
+        #: harvests terminations from here; completions keep flowing
+        #: through the rank-merges.
+        self._retired: dict[
+            str, tuple[str, float, list[RankedAnswer], float | None]] = {}
         #: High-water mark over all plan-graph clocks, maintained as
         #: graphs are driven so ``virtual_now`` does not rescan them.
         self._clock_high = 0.0
@@ -136,10 +148,32 @@ class QSystemEngine:
         self._submitted.append(uq)
         return uq
 
-    def submit_user_query(self, uq: UserQuery) -> None:
-        """Enqueue a pre-expanded user query (workload replay)."""
+    def submit_user_query(self, uq: UserQuery,
+                          deadline: float | None = None) -> None:
+        """Enqueue a pre-expanded user query (workload replay).
+
+        ``deadline`` is an absolute virtual instant; if the query has
+        not completed by then, :meth:`step`/:meth:`drain` retire it as
+        expired (keeping its answers-so-far).
+        """
         self.batcher.submit(uq)
         self._submitted.append(uq)
+        if deadline is not None:
+            self._deadlines[uq.uq_id] = deadline
+
+    def set_deadline(self, uq_id: str, deadline: float | None) -> None:
+        """Replace (or, with ``None``, lift) one query's deadline.  The
+        serving layer uses this when queries coalesce: the shared
+        execution must live as long as its longest-lived rider."""
+        if deadline is None:
+            self._deadlines.pop(uq_id, None)
+        else:
+            self._deadlines[uq_id] = deadline
+
+    def deadline_of(self, uq_id: str) -> float | None:
+        """The deadline this engine is enforcing for ``uq_id`` (None
+        when unbounded)."""
+        return self._deadlines.get(uq_id)
 
     # -- execution --------------------------------------------------------------
 
@@ -174,7 +208,26 @@ class QSystemEngine:
         with execution.  The state budget is enforced after every
         step, which is what keeps memory bounded under sustained load
         rather than only at end-of-run.
+
+        Deadline enforcement: execution is segmented at every pending
+        deadline that falls inside this step, and queries still
+        incomplete when their instant is reached are retired as
+        expired (a query that completes just before its deadline is a
+        normal completion).  With no deadlines pending the step is a
+        single segment, bit-identical to the v1 behaviour.
         """
+        for boundary in self._boundaries(until):
+            self._step_to(boundary)
+            self._expire_due(boundary)
+
+    def _boundaries(self, until: float) -> list[float]:
+        """The deadline instants inside ``(-inf, until)``, ascending,
+        plus ``until`` itself -- the step's execution segments."""
+        due = {d for d in self._deadlines.values() if d < until}
+        return sorted(due) + [until]
+
+    def _step_to(self, until: float) -> None:
+        """One execution segment of :meth:`step`."""
         for batch in self.batcher.pop_ready(until):
             self._run_batch(batch)
         for graph_id in sorted(self._active_graphs):
@@ -187,9 +240,133 @@ class QSystemEngine:
                 # Nothing left to drive; a later graft re-activates it.
                 self._active_graphs.discard(graph_id)
 
+    def _expire_due(self, now: float) -> None:
+        """Retire every query whose deadline has passed and whose
+        rank-merge is still incomplete; completed queries merely shed
+        their (moot) deadline entry."""
+        due = [uq_id for uq_id, d in self._deadlines.items() if d <= now]
+        for uq_id in sorted(due):
+            deadline = self._deadlines.pop(uq_id)
+            self._retire(uq_id, "expired", at=deadline)
+
+    def _retire(self, uq_id: str, how: str, at: float) -> bool:
+        """Common cancel/expire path: withdraw a batched query, or
+        terminate its rank-merge and release its share of the plan
+        graph through the state manager (operator state still feeding
+        other queries survives -- the unlink stops at live splits)."""
+        if self.batcher.remove(uq_id) is not None:
+            self._retired[uq_id] = (how, at, [], None)
+            return True
+        graph_id = self.qs.uq_graphs.get(uq_id)
+        if graph_id is None:
+            return False
+        graph = self.qs.graphs[graph_id]
+        rm = graph.rank_merges.get(uq_id)
+        if rm is None or rm.complete:
+            return False
+        self.qs.retire(graph, rm, how, at=at)
+        self._retired[uq_id] = (how, at, list(rm.answers),
+                                rm.first_emitted_at)
+        return True
+
+    def retire_query(self, uq_id: str, how: str,
+                     at: float | None = None) -> bool:
+        """Abandon one user query as ``"cancelled"`` or ``"expired"``:
+        withdraw it from the batcher, or retire its rank-merge and
+        unlink its plan-graph taps (shared operator state survives for
+        the queries still using it).  ``at`` stamps the retirement
+        instant (defaults to the engine's virtual now).  Returns False
+        if the query is unknown or already complete."""
+        self._deadlines.pop(uq_id, None)
+        return self._retire(uq_id, how,
+                            at=self.virtual_now() if at is None else at)
+
+    def cancel(self, uq_id: str, at: float | None = None) -> bool:
+        """:meth:`retire_query` as client abandonment."""
+        return self.retire_query(uq_id, "cancelled", at=at)
+
+    def discard_retired(self, uq_id: str) -> None:
+        """Drop one entry from the retired ledger (the serving layer
+        uses this when it resolves a termination synchronously, so the
+        next harvest must not see it -- other entries stay queued)."""
+        self._retired.pop(uq_id, None)
+
+    def consume_retired(self) -> dict[
+            str, tuple[str, float, list[RankedAnswer], float | None]]:
+        """Hand the terminations since the last call to the caller:
+        uq_id -> (how, instant, answers emitted by then, first-emission
+        instant or None)."""
+        retired = self._retired
+        self._retired = {}
+        return retired
+
+    def drive_query(self, uq_id: str) -> bool:
+        """Run ``uq_id``'s plan graph -- on the normal round-robin
+        schedule -- until that query emits at least one new answer,
+        completes, or hits its deadline.  The streaming client API's
+        pull: returns whether the query's observable state changed.
+        Pausing between emissions never alters the schedule, so the
+        answers are the ones any other driving pattern produces.
+
+        Deadline enforcement is per *graph*, exactly as in
+        :meth:`step`: driving is segmented at every deadline of a
+        query sharing the driven graph (its execution genuinely
+        reaches those instants), while queries on other graphs -- not
+        executed here -- keep their deadlines for the next
+        step/drain to fire.
+        """
+        graph_id = self.qs.uq_graphs.get(uq_id)
+        if graph_id is None:
+            return False
+        graph = self.qs.graphs[graph_id]
+        rm = graph.rank_merges.get(uq_id)
+        if rm is None or rm.complete:
+            return False
+        before = len(rm.emitted)
+
+        def stop() -> bool:
+            return rm.complete or len(rm.emitted) > before
+
+        while True:
+            # Streaming *is* the passage of virtual time: batches whose
+            # collection window has closed by the driven clock dispatch
+            # now, exactly as a step() to this instant would -- without
+            # this, pumping one handle would starve co-pending queued
+            # queries until drain and inflate their latencies.
+            for batch in self.batcher.pop_ready(graph.clock.now):
+                self._run_batch(batch)
+            boundary = min(
+                (d for u, d in self._deadlines.items()
+                 if self.qs.uq_graphs.get(u) == graph_id), default=None)
+            ATCController(graph, self.qs).run_until(boundary, stop=stop)
+            if boundary is None or graph.clock.now < boundary:
+                break
+            # The graph executed up to this instant: every co-resident
+            # query due by it expires now (each pass pops at least the
+            # boundary's own entry, so the loop terminates).
+            due = [u for u, d in self._deadlines.items()
+                   if d <= boundary and self.qs.uq_graphs.get(u) == graph_id]
+            for u in sorted(due):
+                deadline = self._deadlines.pop(u)
+                self._retire(u, "expired", at=deadline)
+            if stop():
+                break
+        # Batches whose window closed *inside* the last segment
+        # dispatch before the pause, so a pause-resume cadence stays
+        # equivalent to stepping straight to this clock.
+        for batch in self.batcher.pop_ready(graph.clock.now):
+            self._run_batch(batch)
+        self.qs.enforce_budget(graph)
+        if graph.clock.now > self._clock_high:
+            self._clock_high = graph.clock.now
+        if not graph.incomplete_rank_merges():
+            self._active_graphs.discard(graph_id)
+        return rm.complete or len(rm.emitted) > before
+
     def drain(self) -> None:
         """Dispatch everything still pending and run every *active*
-        graph to completion.
+        graph to completion -- segmented at pending deadlines, which
+        fire exactly as in :meth:`step`.
 
         Settled graphs (no incomplete rank-merges) are left alone: they
         cannot make progress, and re-driving every graph ever created
@@ -200,6 +377,15 @@ class QSystemEngine:
         """
         for batch in self.batcher.drain():
             self._run_batch(batch)
+        while self._deadlines:
+            boundary = min(self._deadlines.values())
+            for graph_id in sorted(self._active_graphs):
+                graph = self.qs.graphs[graph_id]
+                ATCController(graph, self.qs).run_until(boundary)
+                self.qs.enforce_budget(graph)
+                if graph.clock.now > self._clock_high:
+                    self._clock_high = graph.clock.now
+            self._expire_due(boundary)
         for graph_id in sorted(self._active_graphs):
             graph = self.qs.graphs[graph_id]
             ATCController(graph, self.qs).run_until_complete()

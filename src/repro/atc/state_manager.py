@@ -40,6 +40,29 @@ from repro.optimizer.factorize import ComponentSpec, FactorizedPlan, SourceSpec
 from repro.plan.graph import PlanGraph
 
 
+def finalize_uq_record(graph: PlanGraph, rm: RankMerge,
+                       at: float | None = None,
+                       outcome: str | None = None) -> None:
+    """Close out one user query's :class:`~repro.stats.metrics.
+    UQRecord` from its rank-merge's final state -- the single place
+    completion (the ATC) and early retirement (the QS manager) both
+    settle latency/work accounting, so the two paths cannot drift.
+    Answers emitted before a retirement were delivered, so they count
+    toward ``tuples_output`` either way."""
+    record = graph.metrics.uq_records.get(rm.uq.uq_id)
+    if record is None:
+        return
+    if outcome is not None:
+        record.outcome = outcome
+    if record.completed is None:
+        record.completed = at if at is not None else graph.clock.now
+    record.results_returned = len(rm.emitted)
+    record.cqs_total = len(rm.uq.cqs)
+    record.cqs_executed = rm.activations
+    record.first_emitted = rm.first_emitted_at
+    graph.metrics.tuples_output += len(rm.emitted)
+
+
 @dataclass
 class CQPlanInfo:
     """Where one conjunctive query's plan lives inside a graph."""
@@ -191,7 +214,7 @@ class QueryStateManager:
                     f"user query {uq.uq_id} already registered on "
                     f"{graph.graph_id}"
                 )
-            graph.rank_merges[uq.uq_id] = RankMerge(uq)
+            graph.rank_merges[uq.uq_id] = RankMerge(uq, clock=graph.clock)
             self.uq_graphs[uq.uq_id] = graph.graph_id
         self.mark_state_dirty(graph.graph_id)
 
@@ -323,6 +346,23 @@ class QueryStateManager:
         return info
 
     # -- completion and unlinking ---------------------------------------------------------
+
+    def retire(self, graph: PlanGraph, rm: RankMerge, how: str,
+               at: float | None = None) -> None:
+        """Retire one user query early (``how`` is "cancelled" or
+        "expired") without tearing down operator state other in-flight
+        queries still share.
+
+        The rank-merge is terminated with its answers-so-far, then the
+        normal completion unlink runs: the query's taps are removed and
+        operators are detached *only* when their consumer list empties
+        -- the same refcounted release that reuse bookkeeping relies
+        on, so a split still feeding another query survives intact.
+        """
+        rm.terminate(how)
+        self.on_complete(graph, rm)
+        finalize_uq_record(graph, rm, at=at, outcome=how)
+        self.mark_state_dirty(graph.graph_id)
 
     def on_complete(self, graph: PlanGraph, rm: RankMerge) -> None:
         """Unlink a finished user query (Section 6.3): remove its

@@ -81,6 +81,11 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--policy", default="reject",
                        choices=("reject", "defer"),
                        help="what to do over budget (default reject)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="per-query deadline, virtual seconds after "
+                            "arrival; overdue queries are retired as "
+                            "expired with their answers-so-far "
+                            "(default: none)")
     serve.add_argument("--shards", type=int, default=1,
                        help="engine workers behind the router; >1 serves "
                             "through the sharded tier (default 1)")
@@ -208,10 +213,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
                              batch_window=args.batch_window, seed=args.seed,
                              cluster_jaccard=args.cluster_jaccard,
                              plan_cache=not args.no_plan_cache)
+    if args.deadline is not None and args.deadline <= 0:
+        raise ValueError(f"--deadline must be positive, got {args.deadline}")
     service_config = ServiceConfig(
         cache_ttl=args.cache_ttl,
         max_in_flight=args.max_in_flight,
         admission_policy=args.policy,
+        default_deadline=args.deadline,
     )
     if args.shards < 1:
         raise ValueError(f"--shards must be positive, got {args.shards}")

@@ -132,7 +132,7 @@ class _Candidate:
 class RankMerge:
     """Top-k merge over a user query's conjunctive-query streams."""
 
-    def __init__(self, uq: UserQuery) -> None:
+    def __init__(self, uq: UserQuery, clock=None) -> None:
         self.uq = uq
         self.k = uq.k
         self.entries: dict[str, CQStreamEntry] = {}
@@ -145,6 +145,16 @@ class RankMerge:
         self._seen: set[tuple[str, frozenset]] = set()
         self.complete = False
         self.activations = 0
+        #: The plan graph's virtual clock (optional; the engine wires
+        #: it so the first emission can be timestamped for TTFA).
+        self._clock = clock
+        #: Virtual instant the first answer left this operator, or
+        #: ``None`` -- the time-to-first-answer anchor.
+        self.first_emitted_at: float | None = None
+        #: Set when the query was retired early ("cancelled" or
+        #: "expired") rather than emitting its full top-k; the service
+        #: harvest reads it to classify the handle's terminal state.
+        self.terminated: str | None = None
         #: Incremental threshold maintenance: a lazy max-heap over the
         #: entries' thresholds.  Stream-bound changes mark entries dirty
         #: (via their adapters); queries flush the dirty set and settle
@@ -339,6 +349,20 @@ class RankMerge:
 
     # -- emission ---------------------------------------------------------------------
 
+    def _note_emission(self) -> None:
+        if self.first_emitted_at is None and self._clock is not None:
+            self.first_emitted_at = self._clock.now
+
+    def terminate(self, how: str) -> None:
+        """Retire the query early (``"cancelled"`` or ``"expired"``):
+        mark the merge complete with whatever has been emitted so far.
+        Stream unlinking is the state manager's job; this only settles
+        the operator's own lifecycle."""
+        if self.complete:
+            return
+        self.terminated = how
+        self.complete = True
+
     def try_emit(self) -> list[RankedAnswer]:
         """Emit every queued tuple whose score clears the frontier."""
         out: list[RankedAnswer] = []
@@ -355,6 +379,8 @@ class RankMerge:
             out.append(candidate.answer)
             if len(self.emitted) >= self.k:
                 self.complete = True
+        if out:
+            self._note_emission()
         self._prune_useless()
         return out
 
@@ -382,6 +408,8 @@ class RankMerge:
             _neg, _seq, candidate = heapq.heappop(self._heap)
             self.emitted.append(candidate)
             out.append(candidate.answer)
+        if out:
+            self._note_emission()
         self.complete = True
         return out
 

@@ -1,13 +1,20 @@
 """The online serving layer: continuous admission over the Q System.
 
 This package turns the batch reproduction into the always-on middleware
-the paper describes: :class:`QService` admits keyword queries along a
-virtual-time arrival stream while earlier queries are still executing,
-backed by an answer cache for the workload's Zipf head
+the paper describes, behind the v2 client API
+(:mod:`~repro.service.handle`): one typed protocol,
+:class:`QueryServiceProtocol`, implemented by the single-node
+:class:`QService` and the sharded :class:`ShardedQService` alike.
+``submit`` returns a live :class:`QueryHandle` whose ``results()``
+iterator streams ranked answers as the engine emits them; handles can
+be cancelled, and carry optional per-query deadlines.
+
+Behind the protocol sit an answer cache for the workload's Zipf head
 (:mod:`~repro.service.cache`), admission control for overload
-(:mod:`~repro.service.admission`), tail-latency/throughput telemetry
-(:mod:`~repro.service.telemetry`), and an open-loop Poisson/Zipf load
-generator for heavy-traffic scenarios (:mod:`~repro.service.loadgen`).
+(:mod:`~repro.service.admission`), tail-latency/TTFA/throughput
+telemetry (:mod:`~repro.service.telemetry`), and an open-loop
+Poisson/Zipf load generator with a client-abandonment model for
+heavy-traffic scenarios (:mod:`~repro.service.loadgen`).
 
 Scaling out, the sharded tier (:mod:`~repro.service.sharding`) runs N
 independent engine workers behind one shared answer cache, with
@@ -18,7 +25,23 @@ overlapping relations on the same worker.
 
 from repro.service.admission import AdmissionController, AdmissionDecision
 from repro.service.cache import CacheStats, ResultCache, normalize_key
-from repro.service.loadgen import LoadConfig, generate_load
+from repro.service.handle import (
+    QueryHandle,
+    QueryServiceProtocol,
+    QueryStatus,
+    Ticket,
+    run_stream,
+)
+from repro.service.loadgen import (
+    LoadConfig,
+    generate_abandonments,
+    generate_load,
+)
+from repro.service.reports import (
+    ServiceReport,
+    ServiceReportBase,
+    ShardedReport,
+)
 from repro.service.routing import (
     ClusterAffinityRouter,
     KeywordHashRouter,
@@ -26,17 +49,8 @@ from repro.service.routing import (
     RoutingPolicy,
     make_router,
 )
-from repro.service.server import (
-    QService,
-    ServiceConfig,
-    ServiceReport,
-    Ticket,
-)
-from repro.service.sharding import (
-    RoutingStats,
-    ShardedQService,
-    ShardedReport,
-)
+from repro.service.server import QService, ServiceConfig
+from repro.service.sharding import RoutingStats, ShardedQService
 from repro.service.telemetry import Telemetry, percentile
 
 __all__ = [
@@ -47,18 +61,24 @@ __all__ = [
     "KeywordHashRouter",
     "LoadConfig",
     "QService",
+    "QueryHandle",
+    "QueryServiceProtocol",
+    "QueryStatus",
     "ResultCache",
     "RoundRobinRouter",
     "RoutingPolicy",
     "RoutingStats",
     "ServiceConfig",
     "ServiceReport",
+    "ServiceReportBase",
     "ShardedQService",
     "ShardedReport",
     "Telemetry",
     "Ticket",
+    "generate_abandonments",
     "generate_load",
     "make_router",
     "normalize_key",
     "percentile",
+    "run_stream",
 ]

@@ -32,7 +32,16 @@ from repro.keyword.queries import KeywordQuery
 
 @dataclass(frozen=True)
 class LoadConfig:
-    """Shape of one open-loop load stream."""
+    """Shape of one open-loop load stream.
+
+    ``abandon_prob`` / ``patience_mean`` parameterize the abandonment
+    model (:func:`generate_abandonments`): each arrival independently
+    turns out to be impatient with probability ``abandon_prob``, and an
+    impatient client cancels its query after an exponentially
+    distributed patience with mean ``patience_mean`` virtual seconds --
+    the standard reneging model of queueing theory, and what lets the
+    service benchmark measure wasted work under cancellation.
+    """
 
     n_queries: int = 200
     rate_qps: float = 2.0
@@ -42,6 +51,8 @@ class LoadConfig:
     template_theta: float = 1.0
     vocabulary_size: int = 24
     seed: int = 7
+    abandon_prob: float = 0.0
+    patience_mean: float = 8.0
 
     def __post_init__(self) -> None:
         if self.n_queries <= 0:
@@ -55,6 +66,12 @@ class LoadConfig:
             raise ValueError(
                 f"keywords_per_query must be positive, "
                 f"got {self.keywords_per_query}")
+        if not 0.0 <= self.abandon_prob <= 1.0:
+            raise ValueError(
+                f"abandon_prob must lie in [0, 1], got {self.abandon_prob}")
+        if self.patience_mean <= 0:
+            raise ValueError(
+                f"patience_mean must be positive, got {self.patience_mean}")
 
 
 def build_templates(index: InvertedIndex, config: LoadConfig
@@ -133,3 +150,27 @@ def generate_load(federation: Federation, config: LoadConfig | None = None,
             arrival=at,
         ))
     return out
+
+
+def generate_abandonments(load: list[KeywordQuery],
+                          config: LoadConfig | None = None
+                          ) -> dict[str, float]:
+    """The abandonment (reneging) schedule for one arrival stream.
+
+    Each query is independently impatient with probability
+    ``abandon_prob``; an impatient client walks away -- cancels its
+    handle -- after an exponential patience of mean ``patience_mean``
+    virtual seconds past its arrival.  Returns ``kq_id ->`` absolute
+    cancel instant, ready for :meth:`QService.run`'s ``cancellations``
+    argument.  Seeded independently of the arrival/popularity draws,
+    so the *same* stream can be replayed with and without abandonment.
+    """
+    config = config or LoadConfig()
+    rng = make_rng(config.seed, "loadgen-abandon")
+    schedule: dict[str, float] = {}
+    for kq in load:
+        impatient = rng.random() < config.abandon_prob
+        patience = poisson_delay(rng, config.patience_mean)
+        if impatient:
+            schedule[kq.kq_id] = kq.arrival + patience
+    return schedule

@@ -1,0 +1,136 @@
+"""Service reports: one report family for every serving topology.
+
+v1 grew two near-identical report classes -- ``ServiceReport`` in the
+single-node server and ``ShardedReport`` in the fleet front door --
+with ``cache_hit_rate``, ``throughput``, and ``render`` copy-pasted
+between them.  The v2 client API unifies them: one shared base,
+:class:`ServiceReportBase`, owns everything both topologies present
+(telemetry block, answer-cache stats, engine work line, the handle
+list), and the sharded report adds an *optional routing section* on
+top.  Consumers that only need the protocol-level view can treat any
+report as a :class:`ServiceReportBase`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.atc.engine import EngineReport
+from repro.service.handle import QueryHandle
+from repro.service.telemetry import Telemetry
+from repro.stats.metrics import Metrics
+
+
+@dataclass
+class ServiceReportBase:
+    """What every serving run produces, whatever the topology."""
+
+    telemetry: Telemetry
+    cache_stats: dict[str, float]
+    tickets: list[QueryHandle] = field(default_factory=list)
+
+    @property
+    def handles(self) -> list[QueryHandle]:
+        """The v2 name for the per-query receipts (``tickets`` remains
+        as the v1 alias)."""
+        return self.tickets
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_stats.get("hit_rate", 0.0)
+
+    @property
+    def throughput(self) -> float | None:
+        return self.telemetry.throughput()
+
+    def engine_metrics(self) -> Metrics:
+        """Execution-work counters over every engine this report spans
+        (subclasses say which engines those are)."""
+        raise NotImplementedError
+
+    def routing_lines(self) -> list[str]:
+        """The optional routing section (empty for single-node runs)."""
+        return []
+
+    def detail_lines(self) -> list[str]:
+        """Optional per-worker trailer (empty for single-node runs)."""
+        return []
+
+    def render(self) -> str:
+        metrics = self.engine_metrics()
+        lines = [
+            self.telemetry.render(cache_hit_rate=self.cache_hit_rate),
+            *self.routing_lines(),
+            f"engine    : {metrics.stream_tuples_read} stream reads + "
+            f"{metrics.probes_performed} probes "
+            f"({metrics.probe_cache_hits} probe-cache hits, "
+            f"{metrics.evictions} evictions)",
+            *self.detail_lines(),
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class ServiceReport(ServiceReportBase):
+    """One single-node serving run."""
+
+    admission_stats: dict[str, float] = field(default_factory=dict)
+    engine_report: EngineReport | None = None
+
+    def engine_metrics(self) -> Metrics:
+        if self.engine_report is None:
+            return Metrics()
+        return self.engine_report.metrics
+
+
+@dataclass
+class ShardedReport(ServiceReportBase):
+    """One fleet run: the aggregate view plus per-shard reports and
+    the routing section.
+
+    The answer cache is a single shared tier, so each shard report's
+    ``cache_stats`` is the same fleet-wide snapshot (also exposed here
+    as :attr:`cache_stats`); per-shard cache effectiveness is not a
+    meaningful quantity in this architecture.
+    """
+
+    shard_reports: list[ServiceReport] = field(default_factory=list)
+    routing: "RoutingStats | None" = None
+
+    @property
+    def fleet(self) -> Telemetry:
+        """The fleet-wide telemetry (v1 name for :attr:`telemetry`)."""
+        return self.telemetry
+
+    def merged_engine_metrics(self) -> Metrics:
+        """Execution-work counters summed across every shard's engine
+        (the bench's shared-work gauge: fewer input tuples for the same
+        answers means more sharing)."""
+        merged = Metrics()
+        for report in self.shard_reports:
+            merged.merge_from(report.engine_metrics())
+        return merged
+
+    def engine_metrics(self) -> Metrics:
+        return self.merged_engine_metrics()
+
+    def routing_lines(self) -> list[str]:
+        if self.routing is None:
+            return []
+        return [
+            f"fleet     : {len(self.shard_reports)} shards "
+            f"({self.routing.policy} routing), per-shard load "
+            f"{self.routing.routed}, "
+            f"{self.routing.spillovers} spill-overs, "
+            f"{self.routing.front_cache_hits} front-door cache hits",
+        ]
+
+    def detail_lines(self) -> list[str]:
+        lines = []
+        for i, report in enumerate(self.shard_reports):
+            tel = report.telemetry
+            lines.append(
+                f"  shard {i}: {tel.completed}/{tel.submitted} served, "
+                f"{report.engine_metrics().total_input_tuples} "
+                f"input tuples")
+        return lines

@@ -6,51 +6,93 @@ queries and attempt to graft them onto the existing graph."
 :class:`QService` is that serving layer.  Where :class:`~repro.atc.
 engine.QSystemEngine` alone exposes a closed batch lifecycle (submit
 everything, then run), the service admits queries one at a time along a
-virtual-time arrival stream while earlier queries are still executing:
+virtual-time arrival stream while earlier queries are still executing,
+and speaks the v2 client protocol (:mod:`repro.service.handle`):
 
+* :meth:`submit` returns a live :class:`~repro.service.handle.
+  QueryHandle`; answers stream out of the handle's ``results()``
+  iterator as the engine's rank-merge emits them, not only at harvest;
+* handles are **cancellable** (:meth:`cancel` releases the query's
+  share of the plan graph through the state manager's refcounted
+  unlink -- operator state other queries still ride survives) and
+  carry an optional **deadline** the engine enforces mid-step;
 * each :meth:`submit` first *steps* the engine up to the new arrival's
   instant (grafting any batch the batcher closed, executing every plan
   graph to that time, harvesting completions into the answer cache);
 * the **answer cache** (:mod:`repro.service.cache`) serves repeated
   popular queries -- the Zipf head of a realistic keyword workload --
   without touching the optimizer at all, and identical queries already
-  in flight are *coalesced* onto the running one;
+  in flight are *coalesced* onto the running one (only *complete*
+  result sets are admitted to the cache: a cancelled or expired
+  query's partial top-k never serves a later twin);
 * **admission control** (:mod:`repro.service.admission`) sheds or
   defers queries when the in-flight or state budget is exhausted;
 * **telemetry** (:mod:`repro.service.telemetry`) tracks the tail
-  latencies, throughput, and hit rates a serving system is judged by.
+  latencies, time-to-first-answer, throughput, and hit/abandonment
+  rates a serving system is judged by.
 
 Typical use::
 
     service = QService(federation, ExecutionConfig(mode=SharingMode.ATC_FULL))
-    for kq in generate_load(federation, LoadConfig(n_queries=200)):
-        service.submit(kq)          # steps virtual time to kq.arrival
-    report = service.drain()        # finish everything in flight
+    handle = service.submit(kq)                   # -> QueryHandle
+    for answer in handle.results():               # streams progressively
+        show(answer)
+    report = service.drain()                      # finish everything else
     print(report.render())
+
+Deadline semantics: a deadline on a query the engine executes fires at
+its exact virtual instant (the engine segments execution there).  A
+deadline on a *parked* query (deferred) or a *coalesced follower* is
+observed at the service's next step, and the expiry is stamped at that
+observation instant (the missed deadline is kept in ``reason``); if
+the shared execution has already completed by then, completion wins
+and the full answer is served.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
-from repro.atc.engine import EngineReport, QSystemEngine
+from repro.atc.engine import QSystemEngine
 from repro.common.config import ExecutionConfig
 from repro.common.errors import QueryError
 from repro.data.database import Federation
 from repro.data.inverted import InvertedIndex
 from repro.keyword.candidates import CandidateNetworkGenerator
 from repro.keyword.queries import KeywordQuery, RankedAnswer, UserQuery
+from repro.operators.rankmerge import RankMerge
 from repro.optimizer.repository import PlanRepository
 from repro.service.admission import AdmissionController
 from repro.service.cache import CacheKey, ResultCache, normalize_key
+from repro.service.handle import (
+    QueryHandle,
+    QueryStatus,
+    Ticket,
+    run_stream,
+)
+from repro.service.reports import ServiceReport
 from repro.service.telemetry import Telemetry
+
+__all__ = [
+    "QService",
+    "ServiceConfig",
+    "ServiceReport",
+    "QueryHandle",
+    "QueryStatus",
+    "Ticket",
+]
 
 
 @dataclass(frozen=True)
 class ServiceConfig:
     """Serving-layer tunables (the engine keeps its own
-    :class:`~repro.common.config.ExecutionConfig`)."""
+    :class:`~repro.common.config.ExecutionConfig`).
+
+    ``default_deadline`` is a *relative* budget in virtual seconds: if
+    set, every query that does not bring its own deadline gets
+    ``arrival + default_deadline``.
+    """
 
     cache_ttl: float = 300.0
     cache_capacity: int = 1024
@@ -58,72 +100,12 @@ class ServiceConfig:
     max_state_tuples: int | None = None
     admission_policy: str = "reject"
     coalesce: bool = True
-
-
-@dataclass
-class Ticket:
-    """The service's receipt for one submitted keyword query."""
-
-    kq_id: str
-    keywords: tuple[str, ...]
-    k: int
-    arrival: float
-    status: str = "pending"  # pending | in-flight | deferred | rejected | done
-    via: str | None = None   # engine | cache | coalesced | empty
-    shard: int | None = None  # set by the sharded service's router
-    uq_id: str | None = None
-    answers: list[RankedAnswer] | None = None
-    completed_at: float | None = None
-    reason: str = ""
-
-    @property
-    def done(self) -> bool:
-        return self.status == "done"
-
-    @property
-    def latency(self) -> float | None:
-        """Arrival-to-answer, in virtual seconds (None until served)."""
-        if self.completed_at is None:
-            return None
-        return max(self.completed_at - self.arrival, 0.0)
-
-    def __repr__(self) -> str:
-        return (f"Ticket({self.kq_id}, {self.status}"
-                f"{f' via {self.via}' if self.via else ''})")
-
-
-@dataclass
-class ServiceReport:
-    """Everything one serving run produced."""
-
-    telemetry: Telemetry
-    cache_stats: dict[str, float]
-    admission_stats: dict[str, float]
-    engine_report: EngineReport
-    tickets: list[Ticket] = field(default_factory=list)
-
-    @property
-    def cache_hit_rate(self) -> float:
-        return self.cache_stats.get("hit_rate", 0.0)
-
-    @property
-    def throughput(self) -> float | None:
-        return self.telemetry.throughput()
-
-    def render(self) -> str:
-        metrics = self.engine_report.metrics
-        lines = [
-            self.telemetry.render(cache_hit_rate=self.cache_hit_rate),
-            f"engine    : {metrics.stream_tuples_read} stream reads + "
-            f"{metrics.probes_performed} probes "
-            f"({metrics.probe_cache_hits} probe-cache hits, "
-            f"{metrics.evictions} evictions)",
-        ]
-        return "\n".join(lines)
+    default_deadline: float | None = None
 
 
 class QService:
-    """Continuous-admission facade over the Q System engine."""
+    """Continuous-admission facade over the Q System engine,
+    implementing :class:`~repro.service.handle.QueryServiceProtocol`."""
 
     def __init__(self, federation: Federation, config: ExecutionConfig,
                  service: ServiceConfig | None = None,
@@ -151,14 +133,18 @@ class QService:
             policy=self.service_config.admission_policy,
         )
         self.telemetry = Telemetry()
-        self.tickets: list[Ticket] = []
-        self._live: dict[str, Ticket] = {}          # uq_id -> ticket
+        self.tickets: list[QueryHandle] = []
+        self._live: dict[str, QueryHandle] = {}       # uq_id -> handle
         self._inflight_keys: dict[CacheKey, str] = {}  # key -> leading uq_id
-        self._followers: dict[CacheKey, list[Ticket]] = {}
-        #: Parked queries awaiting budget: (kq, ticket, pre-expanded uq
+        self._followers: dict[CacheKey, list[QueryHandle]] = {}
+        #: Parked queries awaiting budget: (kq, handle, pre-expanded uq
         #: if the caller supplied one -- retries must not re-expand).
-        self._deferred: deque[tuple[KeywordQuery, Ticket,
+        self._deferred: deque[tuple[KeywordQuery, QueryHandle,
                                     UserQuery | None]] = deque()
+        #: Non-terminal handles carrying a deadline the *service* must
+        #: watch (followers and promoted leaders; the engine watches
+        #: the execution's own effective deadline).
+        self._timed: list[QueryHandle] = []
         self._now = 0.0
         #: Proactive cache grooming: sweep expired entries every
         #: quarter-TTL of virtual time, so stale entries cannot sit
@@ -170,9 +156,11 @@ class QService:
     # -- intake ---------------------------------------------------------------
 
     def submit(self, kq: KeywordQuery, arrival: float | None = None, *,
+               deadline: float | None = None,
                uq: UserQuery | None = None,
-               check_cache: bool = True) -> Ticket:
-        """Admit one keyword query at its (virtual) arrival instant.
+               check_cache: bool = True) -> QueryHandle:
+        """Admit one keyword query at its (virtual) arrival instant;
+        returns its live :class:`QueryHandle`.
 
         Execution first advances to the arrival -- queries admitted
         earlier keep running and completing in the meantime -- then the
@@ -180,41 +168,48 @@ class QService:
         in-flight query, admitted to the engine, deferred, or shed,
         in that order of preference.
 
-        ``uq`` passes a pre-expanded user query (the sharded router
-        expands once to read the relation footprint); ``check_cache=
-        False`` skips the answer-cache lookup when a front tier already
-        performed it, so one user-facing lookup is counted exactly once.
+        ``deadline`` is an *absolute* virtual instant (defaults to
+        ``arrival + ServiceConfig.default_deadline`` when that is
+        configured); ``uq`` passes a pre-expanded user query (the
+        sharded router expands once to read the relation footprint);
+        ``check_cache=False`` skips the answer-cache lookup when a
+        front tier already performed it, so one user-facing lookup is
+        counted exactly once.
         """
         at = kq.arrival if arrival is None else arrival
         at = max(at, self._now)
-        ticket = Ticket(kq_id=kq.kq_id, keywords=tuple(kq.keywords),
-                        k=kq.k, arrival=at)
-        self.tickets.append(ticket)
+        if deadline is None and self.service_config.default_deadline \
+                is not None:
+            deadline = at + self.service_config.default_deadline
+        handle = QueryHandle(kq_id=kq.kq_id, keywords=tuple(kq.keywords),
+                             k=kq.k, arrival=at, deadline=deadline,
+                             service=self)
+        self.tickets.append(handle)
         self.telemetry.record_arrival(at)
         self.step(at)
 
-        if self._serve_fast(ticket, at, check_cache=check_cache):
-            return ticket
+        if self._serve_fast(handle, at, check_cache=check_cache):
+            return handle
 
         decision = self.admission.decide(
             in_flight=len(self._live),
             state_tuples=self.engine.total_state_size(),
         )
         if decision.action == "reject":
-            ticket.status = "rejected"
-            ticket.reason = decision.reason
+            handle.status = QueryStatus.REJECTED
+            handle.reason = decision.reason
             self.telemetry.record_rejection()
-            return ticket
+            return handle
         if decision.action == "defer":
-            ticket.status = "deferred"
-            ticket.reason = decision.reason
-            self._deferred.append((kq, ticket, uq))
+            handle.status = QueryStatus.DEFERRED
+            handle.reason = decision.reason
+            self._deferred.append((kq, handle, uq))
             self.telemetry.record_deferral()
-            return ticket
-        self._start(kq, ticket, at, uq=uq)
-        return ticket
+            return handle
+        self._start(kq, handle, at, uq=uq)
+        return handle
 
-    def _serve_fast(self, ticket: Ticket, at: float,
+    def _serve_fast(self, handle: QueryHandle, at: float,
                     record: bool = True, check_cache: bool = True) -> bool:
         """Try the two no-execution paths: answer cache, then
         coalescing onto an identical in-flight query.
@@ -225,7 +220,7 @@ class QService:
         inflate the cache's user-facing miss count; a front tier that
         already looked the key up passes ``check_cache=False``.
         """
-        key = normalize_key(ticket.keywords, ticket.k)
+        key = normalize_key(handle.keywords, handle.k)
         cached = self.cache.get(key, now=at, record=record) \
             if check_cache else None
         if cached is not None:
@@ -233,23 +228,30 @@ class QService:
                 # The serve is real even though the poll was silent;
                 # count the hit itself.
                 self.cache.get(key, now=at)
-            ticket.status = "done"
-            ticket.via = "cache"
-            ticket.answers = list(cached)
-            ticket.completed_at = at
+            handle.status = QueryStatus.DONE
+            handle.via = "cache"
+            handle.answers = list(cached)
+            handle.completed_at = at
+            latency = max(at - handle.arrival, 0.0)
             self.telemetry.record_cache_hit()
-            self.telemetry.record_completion(at, max(at - ticket.arrival, 0.0))
+            self.telemetry.record_completion(
+                at, latency, ttfa=latency if cached else None)
             return True
         if self.service_config.coalesce and key in self._inflight_keys:
-            ticket.status = "in-flight"
-            ticket.via = "coalesced"
-            ticket.uq_id = self._inflight_keys[key]
-            self._followers.setdefault(key, []).append(ticket)
+            leader_uq = self._inflight_keys[key]
+            handle.status = QueryStatus.IN_FLIGHT
+            handle.via = "coalesced"
+            handle.uq_id = leader_uq
+            self._followers.setdefault(key, []).append(handle)
             self.telemetry.record_coalesced()
+            self._watch(handle)
+            # The shared execution must now outlive its longest rider.
+            self.engine.set_deadline(
+                leader_uq, self._effective_deadline(key, leader_uq))
             return True
         return False
 
-    def _start(self, kq: KeywordQuery, ticket: Ticket, at: float,
+    def _start(self, kq: KeywordQuery, handle: QueryHandle, at: float,
                uq: UserQuery | None = None) -> None:
         """Expand (unless pre-expanded) and hand one admitted query to
         the engine."""
@@ -259,28 +261,34 @@ class QService:
             elif uq.arrival != at:
                 uq = replace(uq, arrival=at, cqs=list(uq.cqs))
         except QueryError as exc:
-            self._finish_empty(ticket, at, str(exc))
+            self._finish_empty(handle, at, str(exc))
             return
         if not uq.cqs:
-            self._finish_empty(ticket, at, "no candidate networks")
+            self._finish_empty(handle, at, "no candidate networks")
             return
-        self.engine.submit_user_query(uq)
-        ticket.status = "in-flight"
-        ticket.via = "engine"
-        ticket.uq_id = uq.uq_id
-        self._live[uq.uq_id] = ticket
-        key = normalize_key(ticket.keywords, ticket.k)
+        self.engine.submit_user_query(uq, deadline=handle.deadline)
+        handle.status = QueryStatus.IN_FLIGHT
+        handle.via = "engine"
+        handle.uq_id = uq.uq_id
+        self._live[uq.uq_id] = handle
+        key = normalize_key(handle.keywords, handle.k)
         self._inflight_keys.setdefault(key, uq.uq_id)
+        self._watch(handle)
 
-    def _finish_empty(self, ticket: Ticket, at: float, reason: str) -> None:
+    def _finish_empty(self, handle: QueryHandle, at: float,
+                      reason: str) -> None:
         """Serve a query no candidate network can answer: empty top-k."""
-        ticket.status = "done"
-        ticket.via = "empty"
-        ticket.answers = []
-        ticket.completed_at = at
-        ticket.reason = reason
+        handle.status = QueryStatus.DONE
+        handle.via = "empty"
+        handle.answers = []
+        handle.completed_at = at
+        handle.reason = reason
         self.telemetry.record_no_results()
         self.telemetry.record_completion(at, 0.0)
+
+    def _watch(self, handle: QueryHandle) -> None:
+        if handle.deadline is not None:
+            self._timed.append(handle)
 
     # -- progress --------------------------------------------------------------
 
@@ -295,13 +303,29 @@ class QService:
         """Queries parked awaiting budget (unresolved, like in-flight)."""
         return len(self._deferred)
 
+    def inflight_handle(self, key: CacheKey) -> QueryHandle | None:
+        """The live handle currently leading ``key``'s in-flight
+        execution on this worker, or ``None``.  The sharded front door
+        consults this when its own registry entry resolved -- a
+        promotion may have handed the execution to a newer handle."""
+        uq_id = self._inflight_keys.get(key)
+        if uq_id is None:
+            return None
+        handle = self._live.get(uq_id)
+        if handle is None or handle.terminal:
+            return None
+        return handle
+
     def step(self, until: float) -> None:
-        """Advance virtual time: execute, harvest completions, groom
-        the answer cache, retry deferred queries against the freed
-        budget."""
+        """Advance virtual time: execute (the engine enforces query
+        deadlines mid-step), harvest completions and terminations,
+        sweep service-side deadlines, groom the answer cache, retry
+        deferred queries against the freed budget."""
         self._now = max(self._now, until)
         self.engine.step(until)
         self._harvest()
+        if self._timed:
+            self._sweep_deadlines()
         if self._now >= self._next_purge:
             self.cache.purge_expired(self._now)
             self._next_purge = self._now + self._purge_interval
@@ -315,19 +339,20 @@ class QService:
         while True:
             self.engine.drain()
             self._harvest()
-            if not self._deferred:
-                self._now = max(self._now, self.engine.virtual_now())
-                break
             self._now = max(self._now, self.engine.virtual_now())
+            if self._timed:
+                self._sweep_deadlines()
+            if not self._deferred:
+                break
             self._retry_deferred(self._now)
             if self._deferred and not self._live:
                 # Budget still exhausted with nothing running: the
                 # state gauge alone is over budget, so deferral can
                 # never clear -- shed the stragglers rather than spin.
                 while self._deferred:
-                    kq, ticket, _uq = self._deferred.popleft()
-                    ticket.status = "rejected"
-                    ticket.reason = "deferred past drain; state budget " \
+                    kq, handle, _uq = self._deferred.popleft()
+                    handle.status = QueryStatus.REJECTED
+                    handle.reason = "deferred past drain; state budget " \
                                     "never freed"
                     self.telemetry.record_rejection()
         return self.report()
@@ -338,35 +363,249 @@ class QService:
         return ServiceReport(
             telemetry=self.telemetry,
             cache_stats=self.cache.stats.snapshot(),
+            tickets=list(self.tickets),
             admission_stats=self.admission.snapshot(),
             engine_report=engine_report,
-            tickets=list(self.tickets),
         )
 
-    def run(self, load: list[KeywordQuery]) -> ServiceReport:
-        """Serve one open-loop arrival stream end to end."""
-        for kq in sorted(load, key=lambda q: q.arrival):
-            self.submit(kq)
-        return self.drain()
+    def run(self, load: list[KeywordQuery],
+            cancellations: dict[str, float] | None = None) -> ServiceReport:
+        """Serve one open-loop arrival stream end to end.
+
+        ``cancellations`` optionally schedules client abandonment
+        (kq_id -> virtual cancel instant), as produced by
+        :func:`repro.service.loadgen.generate_abandonments`.
+        """
+        return run_stream(self, load, cancellations)
+
+    # -- the v2 protocol: streaming and cancellation ---------------------------
+
+    def answers_so_far(self, handle: QueryHandle) -> list[RankedAnswer]:
+        """The handle's progressive emission: its final answers once
+        terminal, else whatever its rank-merge has emitted."""
+        if handle.answers is not None:
+            return list(handle.answers)
+        rm = self._rm_for(handle.uq_id)
+        if rm is None:
+            return []
+        return list(rm.answers)
+
+    def pump(self, handle: QueryHandle) -> bool:
+        """Drive the service until ``handle`` gains an answer, reaches
+        a terminal state, or provably cannot progress right now.
+        Returns whether its observable state changed (the engine
+        behind :meth:`QueryHandle.results`)."""
+        if handle.terminal:
+            return False
+        if handle.status is QueryStatus.DEFERRED:
+            # Parked: only the passage of time (completions freeing
+            # budget) can help.  Run one batch window forward (at
+            # least one virtual second, so a zero-window batcher still
+            # makes progress) and keep reporting progress while
+            # in-flight work remains that could free the budget; with
+            # nothing running, pumping can never clear the gauge.
+            self.step(self._now + max(self.engine.batcher.window, 1.0))
+            if handle.status is not QueryStatus.DEFERRED:
+                return True
+            return bool(self._live)
+        uq_id = handle.uq_id
+        if uq_id is None:
+            return False
+        if self.engine.qs.uq_graphs.get(uq_id) is None:
+            # Still collecting in the batcher: run past the collection
+            # window so the batch closes and the query dispatches.
+            self.step(max(self._now, handle.arrival)
+                      + self.engine.batcher.window + 1e-9)
+            return handle.terminal \
+                or self.engine.qs.uq_graphs.get(uq_id) is not None
+        before = len(self.answers_so_far(handle))
+        progressed = self.engine.drive_query(uq_id)
+        self._harvest()
+        # Streaming pulls virtual time forward just as stepping does:
+        # catch the service clock up and enforce the deadlines only
+        # the service watches (followers, promoted leaders), so a
+        # consumer who only ever pumps cannot outlive its deadline.
+        self._now = max(self._now, self.engine.virtual_now())
+        if self._timed:
+            self._sweep_deadlines()
+        return progressed or handle.terminal \
+            or len(self.answers_so_far(handle)) > before
+
+    def cancel(self, handle: QueryHandle) -> bool:
+        """Abandon one query.  The engine's shared execution is killed
+        only when no other query rides it: cancelling a coalesced
+        follower detaches just that follower, and cancelling a leader
+        with followers *promotes* one of them instead of tearing the
+        execution down.  Returns False when already terminal (or not
+        this service's handle)."""
+        if handle.terminal:
+            return False
+        at = self._now
+        if handle.status is QueryStatus.DEFERRED:
+            kept = deque(
+                entry for entry in self._deferred if entry[1] is not handle)
+            if len(kept) == len(self._deferred):
+                return False   # not parked here (another service's handle)
+            self._deferred = kept
+            self._finish_terminated(handle, "cancelled", at, [], None)
+            return True
+        rm = self._rm_for(handle.uq_id)
+        if rm is not None and rm.complete and rm.terminated is None:
+            # Completed under the wire (e.g. the caller drove the
+            # engine directly): completion wins -- harvest the full
+            # answer instead of relabelling it a cancellation.
+            self._harvest()
+            return False
+        return self._retire_handle(handle, "cancelled", at)
+
+    def _retire_handle(self, handle: QueryHandle, how: str,
+                       at: float) -> bool:
+        """Release one in-flight handle's claim on its (possibly
+        shared) engine execution and finish it as cancelled/expired.
+
+        Dispatches on actual membership -- not on the handle's ``via``
+        route label, which a promoted follower keeps as "coalesced":
+
+        * the current *leader* (the ``_live`` entry) with followers
+          left promotes the first of them, so the execution survives;
+        * a sole-rider leader tears the execution down through the
+          engine (the state manager's refcounted unlink);
+        * a *follower* just detaches from the leader's in-flight entry.
+
+        Returns False when the handle holds no claim here (another
+        service's handle, or a not-yet-dispatched query whose deadline
+        the engine owns).
+        """
+        uq_id = handle.uq_id
+        if uq_id is None:
+            return False
+        key = normalize_key(handle.keywords, handle.k)
+        rm = self._rm_for(uq_id)
+        partial = list(rm.answers) if rm is not None else []
+        first = rm.first_emitted_at if rm is not None else None
+        followers = self._followers.get(key, [])
+        if self._live.get(uq_id) is handle:
+            if followers:
+                promoted = followers.pop(0)
+                if not followers:
+                    self._followers.pop(key, None)
+                self._live[uq_id] = promoted
+                self._finish_terminated(handle, how, at, partial, first)
+                self.engine.set_deadline(
+                    uq_id, self._effective_deadline(key, uq_id))
+            else:
+                self.engine.retire_query(uq_id, how, at=at)
+                self.engine.discard_retired(uq_id)   # resolved here,
+                del self._live[uq_id]                # not at harvest
+                if self._inflight_keys.get(key) == uq_id:
+                    del self._inflight_keys[key]
+                self._finish_terminated(handle, how, at, partial, first)
+            return True
+        if handle in followers:
+            followers.remove(handle)
+            if not followers:
+                self._followers.pop(key, None)
+            self._finish_terminated(handle, how, at, partial, first)
+            self.engine.set_deadline(
+                uq_id, self._effective_deadline(key, uq_id))
+            return True
+        return False
 
     # -- internals ----------------------------------------------------------------
 
-    def _harvest(self) -> None:
-        """Resolve tickets whose user query completed, feed the cache,
-        and release coalesced followers.
+    def _rm_for(self, uq_id: str | None) -> RankMerge | None:
+        if uq_id is None:
+            return None
+        graph_id = self.engine.qs.uq_graphs.get(uq_id)
+        if graph_id is None:
+            return None
+        return self.engine.qs.graphs[graph_id].rank_merges.get(uq_id)
 
-        Walks only the *live* tickets (resolved to their graph through
+    def _effective_deadline(self, key: CacheKey,
+                            uq_id: str | None) -> float | None:
+        """The deadline of a (possibly shared) engine execution: the
+        latest deadline over every query riding it -- ``None`` (no
+        deadline) as soon as one rider has none."""
+        holders: list[QueryHandle] = []
+        if uq_id is not None:
+            leader = self._live.get(uq_id)
+            if leader is not None:
+                holders.append(leader)
+        holders.extend(self._followers.get(key, ()))
+        if not holders:
+            return None
+        deadlines = [h.deadline for h in holders]
+        if any(d is None for d in deadlines):
+            return None
+        return max(deadlines)
+
+    def _ttfa_of(self, handle: QueryHandle, answers: list,
+                 first_emitted: float | None) -> float | None:
+        """Arrival-to-first-answer for one resolved handle (``None``
+        when it never received any answer)."""
+        if not answers:
+            return None
+        if first_emitted is not None:
+            return max(first_emitted - handle.arrival, 0.0)
+        if handle.completed_at is not None:
+            return max(handle.completed_at - handle.arrival, 0.0)
+        return None
+
+    def _finish_terminated(self, handle: QueryHandle, how: str, at: float,
+                           answers: list,
+                           first_emitted: float | None) -> None:
+        """Resolve one cancelled/expired handle: partial answers, the
+        termination instant, and the telemetry counter."""
+        handle.status = QueryStatus.EXPIRED if how == "expired" \
+            else QueryStatus.CANCELLED
+        handle.answers = list(answers)
+        handle.completed_at = at
+        # The terminal cause replaces any interim note (e.g. the
+        # admission gauge message a deferred query carried).
+        if how != "expired":
+            handle.reason = "cancelled by client"
+        elif handle.deadline is not None:
+            handle.reason = f"deadline {handle.deadline:g} expired"
+        else:
+            handle.reason = "deadline expired"
+        ttfa = self._ttfa_of(handle, answers, first_emitted)
+        if how == "expired":
+            self.telemetry.record_expiry(at, ttfa)
+        else:
+            self.telemetry.record_cancellation(at, ttfa)
+
+    def _harvest(self) -> None:
+        """Resolve handles whose user query completed or was retired,
+        feed the cache, and release coalesced followers.
+
+        Walks only the *live* handles (resolved to their graph through
         the QS manager's registry), so harvesting stays O(in-flight)
         under a long stream instead of rescanning every rank-merge
-        ever created.
+        ever created.  Only complete result sets reach the answer
+        cache: a retired query's partial top-k must never serve a
+        later twin as if it were the answer.
         """
-        for uq_id, ticket in list(self._live.items()):
+        for uq_id, (how, at, answers, first) in \
+                self.engine.consume_retired().items():
+            handle = self._live.pop(uq_id, None)
+            if handle is None:
+                continue
+            key = normalize_key(handle.keywords, handle.k)
+            if self._inflight_keys.get(key) == uq_id:
+                del self._inflight_keys[key]
+            self._finish_terminated(handle, how, at, answers, first)
+            for follower in self._followers.pop(key, []):
+                # The shared execution is gone; its riders terminate
+                # with it (their personal deadlines were no earlier --
+                # the execution lived to the latest one).
+                self._finish_terminated(follower, how, at, list(answers), first)
+        for uq_id, handle in list(self._live.items()):
             graph_id = self.engine.qs.uq_graphs.get(uq_id)
             if graph_id is None:
                 continue   # still queued in the batcher
             graph = self.engine.qs.graphs[graph_id]
             rm = graph.rank_merges[uq_id]
-            if not rm.complete:
+            if not rm.complete or rm.terminated is not None:
                 continue
             record = graph.metrics.uq_records.get(uq_id)
             completed_at = record.completed \
@@ -374,38 +613,90 @@ class QService:
                 else graph.clock.now
             answers = list(rm.answers)
             del self._live[uq_id]
-            ticket.status = "done"
-            ticket.answers = answers
-            ticket.completed_at = completed_at
+            handle.status = QueryStatus.DONE
+            handle.answers = answers
+            handle.completed_at = completed_at
             self.telemetry.record_completion(
-                completed_at, max(completed_at - ticket.arrival, 0.0))
-            key = normalize_key(ticket.keywords, ticket.k)
+                completed_at, max(completed_at - handle.arrival, 0.0),
+                ttfa=self._ttfa_of(handle, answers, rm.first_emitted_at))
+            key = normalize_key(handle.keywords, handle.k)
             self.cache.put(key, answers, now=completed_at)
             if self._inflight_keys.get(key) == uq_id:
                 del self._inflight_keys[key]
             for follower in self._followers.pop(key, []):
-                follower.status = "done"
+                follower.status = QueryStatus.DONE
                 follower.answers = list(answers)
                 follower.completed_at = completed_at
                 self.telemetry.record_completion(
                     completed_at,
-                    max(completed_at - follower.arrival, 0.0))
+                    max(completed_at - follower.arrival, 0.0),
+                    ttfa=self._ttfa_of(follower, answers, rm.first_emitted_at))
+
+    def _sweep_deadlines(self) -> None:
+        """Expire watched handles whose deadline has passed.  The
+        engine already fires execution deadlines at their exact
+        instants; this sweep covers what only the service can see --
+        followers and promoted leaders whose *personal* deadline is
+        earlier than the shared execution's effective one.  Completion
+        always wins: a handle whose execution already finished is left
+        for the harvest.  Sweep expiries are stamped at the
+        *observation* instant (the current service clock), so a
+        handle's answers-so-far never postdate its ``completed_at``;
+        the missed deadline itself is recorded in ``reason``."""
+        alive: list[QueryHandle] = []
+        for handle in self._timed:
+            if handle.terminal:
+                continue
+            if handle.deadline is None or handle.deadline > self._now:
+                alive.append(handle)
+                continue
+            if not self._expire_handle(handle):
+                alive.append(handle)
+        self._timed = alive
+
+    def _expire_handle(self, handle: QueryHandle) -> bool:
+        """Retire one overdue handle; returns False to keep watching
+        (execution completed, or the engine owns the deadline)."""
+        rm = self._rm_for(handle.uq_id)
+        if rm is not None and rm.complete and rm.terminated is None:
+            return False   # completed under the wire: harvest serves it
+        if (handle.uq_id is not None
+                and self._live.get(handle.uq_id) is handle
+                and self.engine.deadline_of(handle.uq_id)
+                == handle.deadline):
+            # The engine enforces exactly this instant by segmenting
+            # the query's own execution there; expiring it from the
+            # sweep -- whose clock may have been pulled ahead by some
+            # *other* graph's streaming -- would retire it before its
+            # graph was ever driven to the deadline.
+            return False
+        # False here likewise means the handle holds no claim on any
+        # execution yet (not dispatched, with the engine holding its
+        # deadline) -- the engine's segmentation owns the expiry.
+        return self._retire_handle(handle, "expired", self._now)
 
     def _retry_deferred(self, at: float) -> None:
-        """Re-try parked queries: serve from cache / coalesce if a twin
-        finished (or is running) meanwhile, admit if the budget has
-        freed, keep parked otherwise.  Uses the admission controller's
-        silent gauge check, so retry attempts never inflate its
-        per-query decision counters."""
-        still: deque[tuple[KeywordQuery, Ticket, UserQuery | None]] = deque()
+        """Re-try parked queries: expire the overdue, serve from cache
+        / coalesce if a twin finished (or is running) meanwhile, admit
+        if the budget has freed, keep parked otherwise.  Uses the
+        admission controller's silent gauge check, so retry attempts
+        never inflate its per-query decision counters."""
+        still: deque[tuple[KeywordQuery, QueryHandle,
+                           UserQuery | None]] = deque()
         while self._deferred:
-            kq, ticket, uq = self._deferred.popleft()
-            if self._serve_fast(ticket, at, record=False):
+            kq, handle, uq = self._deferred.popleft()
+            if handle.terminal:
+                continue   # cancelled while parked
+            if handle.deadline is not None and at >= handle.deadline:
+                self._finish_terminated(
+                    handle, "expired", handle.deadline, [], None)
+                continue
+            if self._serve_fast(handle, at, record=False):
                 continue
             if not self.admission.would_admit(
                     in_flight=len(self._live),
                     state_tuples=self.engine.total_state_size()):
-                still.append((kq, ticket, uq))
+                still.append((kq, handle, uq))
                 continue
-            self._start(kq, ticket, at, uq=uq)
+            self._start(kq, handle, at, uq=uq)
         self._deferred = still

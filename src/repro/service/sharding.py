@@ -5,7 +5,10 @@ and one set of plan-graph clocks; the ROADMAP's "heavy traffic" target
 needs a *fleet*.  :class:`ShardedQService` runs ``n_shards`` fully
 independent workers (each its own :class:`~repro.atc.engine.
 QSystemEngine`, admission controller, and telemetry) behind a single
-front door:
+front door, and speaks the same v2 client protocol
+(:class:`~repro.service.handle.QueryServiceProtocol`) as the
+single-node service -- handles, streaming results, cancellation, and
+deadlines all behave identically whichever topology serves the query:
 
 1. the **shared answer cache** sits in front of the router: a repeat of
    any query already answered by *any* shard is served at the front
@@ -19,8 +22,12 @@ front door:
    over* to the least-loaded shard with headroom (affinity is a
    preference, shedding load is not), and only when the whole fleet is
    saturated does the worker's configured policy reject or defer;
-4. per-shard telemetry aggregates into **fleet-level** p50/p95/p99 and
-   throughput over the union of all latency samples
+4. **cancellation routes to the owning shard**: the handle remembers
+   where it ran, and a coalesced twin -- pinned to its leader's shard
+   by the front door -- detaches from the leader's in-flight entry
+   without ever killing the leader's execution;
+5. per-shard telemetry aggregates into **fleet-level** p50/p95/p99,
+   TTFA, and throughput over the union of all latency samples
    (:meth:`~repro.service.telemetry.Telemetry.merged`).
 
 All workers advance on the same virtual arrival clock: every submit
@@ -37,25 +44,27 @@ Typical use::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.common.config import ExecutionConfig
 from repro.common.errors import QueryError
 from repro.data.database import Federation
 from repro.data.inverted import InvertedIndex
 from repro.keyword.candidates import CandidateNetworkGenerator
-from repro.keyword.queries import KeywordQuery, UserQuery
+from repro.keyword.queries import KeywordQuery, RankedAnswer
 from repro.optimizer.repository import PlanRepository
 from repro.service.cache import ResultCache, normalize_key
+from repro.service.handle import QueryHandle, QueryStatus, run_stream
+from repro.service.reports import ServiceReport, ShardedReport
 from repro.service.routing import RoutingPolicy, make_router
-from repro.service.server import (
-    QService,
-    ServiceConfig,
-    ServiceReport,
-    Ticket,
-)
+from repro.service.server import QService, ServiceConfig
 from repro.service.telemetry import Telemetry
-from repro.stats.metrics import Metrics
+
+__all__ = [
+    "RoutingStats",
+    "ShardedQService",
+    "ShardedReport",
+]
 
 
 @dataclass
@@ -79,64 +88,10 @@ class RoutingStats:
         return out
 
 
-@dataclass
-class ShardedReport:
-    """One fleet run: per-shard reports plus the aggregate view.
-
-    The answer cache is a single shared tier, so each shard report's
-    ``cache_stats`` is the same fleet-wide snapshot (also exposed here
-    as :attr:`cache_stats`); per-shard cache effectiveness is not a
-    meaningful quantity in this architecture.
-    """
-
-    fleet: Telemetry
-    shard_reports: list[ServiceReport]
-    cache_stats: dict[str, float]
-    routing: RoutingStats
-    tickets: list[Ticket] = field(default_factory=list)
-
-    @property
-    def cache_hit_rate(self) -> float:
-        return self.cache_stats.get("hit_rate", 0.0)
-
-    @property
-    def throughput(self) -> float | None:
-        return self.fleet.throughput()
-
-    def merged_engine_metrics(self) -> Metrics:
-        """Execution-work counters summed across every shard's engine
-        (the bench's shared-work gauge: fewer input tuples for the same
-        answers means more sharing)."""
-        merged = Metrics()
-        for report in self.shard_reports:
-            merged.merge_from(report.engine_report.metrics)
-        return merged
-
-    def render(self) -> str:
-        metrics = self.merged_engine_metrics()
-        lines = [
-            self.fleet.render(cache_hit_rate=self.cache_hit_rate),
-            f"fleet     : {len(self.shard_reports)} shards "
-            f"({self.routing.policy} routing), per-shard load "
-            f"{self.routing.routed}, {self.routing.spillovers} spill-overs, "
-            f"{self.routing.front_cache_hits} front-door cache hits",
-            f"engine    : {metrics.stream_tuples_read} stream reads + "
-            f"{metrics.probes_performed} probes "
-            f"({metrics.probe_cache_hits} probe-cache hits, "
-            f"{metrics.evictions} evictions)",
-        ]
-        for i, report in enumerate(self.shard_reports):
-            tel = report.telemetry
-            lines.append(
-                f"  shard {i}: {tel.completed}/{tel.submitted} served, "
-                f"{report.engine_report.metrics.total_input_tuples} "
-                f"input tuples")
-        return "\n".join(lines)
-
-
 class ShardedQService:
     """Front door over ``n_shards`` independent :class:`QService`
-    workers with pluggable shard routing."""
+    workers with pluggable shard routing, implementing
+    :class:`~repro.service.handle.QueryServiceProtocol`."""
 
     def __init__(self, federation: Federation, config: ExecutionConfig,
                  n_shards: int = 2,
@@ -179,22 +134,25 @@ class ShardedQService:
         self.telemetry = Telemetry()
         self.routing_stats = RoutingStats(policy=self.router.name,
                                           routed=[0] * n_shards)
-        self.tickets: list[Ticket] = []
+        self.tickets: list[QueryHandle] = []
         #: Front-door in-flight registry: cache key -> the leading
-        #: unresolved ticket.  A repeat of an in-flight key is pinned to
+        #: unresolved handle.  A repeat of an in-flight key is pinned to
         #: its leader's shard, where the worker's ``_serve_fast``
         #: coalesces it -- without this, content-blind policies (round
         #: robin) scatter identical in-flight queries across shards and
         #: every copy executes the full plan, losing the coalescing the
         #: single-shard service guarantees.
-        self._inflight_leaders: dict[tuple, Ticket] = {}
+        self._inflight_leaders: dict[tuple, QueryHandle] = {}
         self._now = 0.0
 
     # -- intake ---------------------------------------------------------------
 
-    def submit(self, kq: KeywordQuery, arrival: float | None = None) -> Ticket:
+    def submit(self, kq: KeywordQuery, arrival: float | None = None, *,
+               deadline: float | None = None) -> QueryHandle:
         """Admit one query at its virtual arrival: advance every shard
-        to that instant, try the shared cache, then route."""
+        to that instant, try the shared cache, then route.  The
+        returned handle's streaming/cancellation surface is served by
+        the owning shard, transparently."""
         at = kq.arrival if arrival is None else arrival
         at = max(at, self._now)
         self.step(at)
@@ -233,42 +191,59 @@ class ShardedQService:
             shard = self.router.route(kq, uq, self.n_shards)
             shard = self._spill(shard)
         self.routing_stats.routed[shard] += 1
-        ticket = self.workers[shard].submit(kq, arrival=at, uq=uq,
+        handle = self.workers[shard].submit(kq, arrival=at,
+                                            deadline=deadline, uq=uq,
                                             check_cache=False)
-        ticket.shard = shard
-        self.tickets.append(ticket)
+        handle.shard = shard
+        self.tickets.append(handle)
         if (self.service_config.coalesce
                 and key not in self._inflight_leaders
-                and ticket.status in ("in-flight", "deferred")):
-            self._inflight_leaders[key] = ticket
-        return ticket
+                and handle.status in (QueryStatus.IN_FLIGHT,
+                                      QueryStatus.DEFERRED)):
+            self._inflight_leaders[key] = handle
+        return handle
 
     def _leader_shard(self, key: tuple) -> int | None:
         """The shard of ``key``'s in-flight leader, pruning resolved
         leaders on the way; ``None`` when no live leader exists (or
-        coalescing is off)."""
+        coalescing is off).
+
+        A terminal registry entry does not always mean the execution
+        died: cancelling/expiring a leader with followers *promotes*
+        one of them on the worker.  Ask the worker before pruning, so
+        later twins keep coalescing onto the promoted handle instead
+        of re-executing the identical plan on another shard."""
         if not self.service_config.coalesce:
             return None
         leader = self._inflight_leaders.get(key)
         if leader is None:
             return None
-        if leader.status in ("done", "rejected"):
-            del self._inflight_leaders[key]
-            return None
+        if leader.terminal:
+            shard = leader.shard
+            promoted = self.workers[shard].inflight_handle(key) \
+                if shard is not None else None
+            if promoted is None:
+                del self._inflight_leaders[key]
+                return None
+            self._inflight_leaders[key] = promoted
+            leader = promoted
         return leader.shard
 
     def _serve_at_front_door(self, kq: KeywordQuery, at: float, via: str,
-                             answers: list, reason: str = "") -> Ticket:
-        """Resolve one arrival without routing: a done ticket with the
+                             answers: list[RankedAnswer],
+                             reason: str = "") -> QueryHandle:
+        """Resolve one arrival without routing: a done handle with the
         front door's telemetry bookkeeping (zero latency -- the query
         never waited on any engine)."""
-        ticket = Ticket(kq_id=kq.kq_id, keywords=tuple(kq.keywords),
-                        k=kq.k, arrival=at, status="done", via=via,
-                        answers=answers, completed_at=at, reason=reason)
-        self.tickets.append(ticket)
+        handle = QueryHandle(kq_id=kq.kq_id, keywords=tuple(kq.keywords),
+                             k=kq.k, arrival=at, status=QueryStatus.DONE,
+                             via=via, answers=answers, completed_at=at,
+                             reason=reason, service=self)
+        self.tickets.append(handle)
         self.telemetry.record_arrival(at)
-        self.telemetry.record_completion(at, 0.0)
-        return ticket
+        self.telemetry.record_completion(
+            at, 0.0, ttfa=0.0 if answers else None)
+        return handle
 
     def _spill(self, shard: int) -> int:
         """Shard-aware admission: prefer the routed shard, but when its
@@ -288,6 +263,29 @@ class ShardedQService:
             return best
         return shard
 
+    # -- the v2 protocol: streaming and cancellation ---------------------------
+
+    def cancel(self, handle: QueryHandle) -> bool:
+        """Route the cancellation to the shard that owns the query.
+        A coalesced twin (pinned to its leader's shard by the front
+        door) detaches from the leader's in-flight entry there; the
+        leader's execution is only torn down once nothing rides it."""
+        if handle.terminal or handle.shard is None:
+            return False
+        return self.workers[handle.shard].cancel(handle)
+
+    def answers_so_far(self, handle: QueryHandle) -> list[RankedAnswer]:
+        if handle.answers is not None:
+            return list(handle.answers)
+        if handle.shard is None:
+            return []
+        return self.workers[handle.shard].answers_so_far(handle)
+
+    def pump(self, handle: QueryHandle) -> bool:
+        if handle.terminal or handle.shard is None:
+            return False
+        return self.workers[handle.shard].pump(handle)
+
     # -- progress --------------------------------------------------------------
 
     def step(self, until: float) -> None:
@@ -306,8 +304,11 @@ class ShardedQService:
                    for w in self.workers)
         if len(leaders) > 32 + 2 * live:
             self._inflight_leaders = {
-                key: ticket for key, ticket in leaders.items()
-                if ticket.status not in ("done", "rejected")
+                key: handle for key, handle in leaders.items()
+                if not handle.terminal
+                or (handle.shard is not None
+                    and self.workers[handle.shard].inflight_handle(key)
+                    is not None)
             }
 
     def drain(self) -> ShardedReport:
@@ -325,19 +326,21 @@ class ShardedQService:
         return self.report()
 
     def report(self) -> ShardedReport:
-        shard_reports = [worker.report() for worker in self.workers]
+        shard_reports: list[ServiceReport] = [
+            worker.report() for worker in self.workers]
         fleet = Telemetry.merged(
             [self.telemetry] + [worker.telemetry for worker in self.workers])
         return ShardedReport(
-            fleet=fleet,
-            shard_reports=shard_reports,
+            telemetry=fleet,
             cache_stats=self.cache.stats.snapshot(),
-            routing=self.routing_stats,
             tickets=list(self.tickets),
+            shard_reports=shard_reports,
+            routing=self.routing_stats,
         )
 
-    def run(self, load: list[KeywordQuery]) -> ShardedReport:
-        """Serve one open-loop arrival stream end to end."""
-        for kq in sorted(load, key=lambda q: q.arrival):
-            self.submit(kq)
-        return self.drain()
+    def run(self, load: list[KeywordQuery],
+            cancellations: dict[str, float] | None = None) -> ShardedReport:
+        """Serve one open-loop arrival stream end to end (optionally
+        with a client-abandonment schedule; see
+        :func:`repro.service.handle.run_stream`)."""
+        return run_stream(self, load, cancellations)

@@ -51,22 +51,32 @@ def percentile(samples: Sequence[float], pct: float) -> float | None:
 class Telemetry:
     """Aggregates one service run's operational numbers.
 
-    ``completed`` and ``rejected`` are terminal dispositions: once a
-    run is drained, every submitted query is exactly one of the two
-    (``completed + rejected == submitted``).  ``deferred``,
+    ``completed``, ``rejected``, ``cancelled``, and ``expired`` are
+    terminal dispositions: once a run is drained, every submitted
+    query is exactly one of the four (``completed + rejected +
+    cancelled + expired == submitted``).  ``deferred``,
     ``served_from_cache``, ``coalesced``, and ``no_results`` are
     *event/route* counters along the way -- a deferred query later
     completes (or is shed as rejected), so ``deferred`` overlaps the
     terminal counts by design.
+
+    ``latencies`` holds one arrival-to-answer sample per *completed*
+    query; ``ttfas`` holds one arrival-to-first-answer sample per
+    query that ever received an answer (completed queries always; a
+    cancelled/expired query contributes iff something had streamed out
+    before it was retired) -- the streaming API's headline metric.
     """
 
     latencies: list[float] = field(default_factory=list)
+    ttfas: list[float] = field(default_factory=list)
     submitted: int = 0
     completed: int = 0
     served_from_cache: int = 0
     coalesced: int = 0
     rejected: int = 0
     deferred: int = 0
+    cancelled: int = 0
+    expired: int = 0
     no_results: int = 0
     first_arrival: float | None = None
     last_event: float = 0.0
@@ -88,12 +98,38 @@ class Telemetry:
             self.first_arrival = at
         self.last_event = max(self.last_event, at)
 
-    def record_completion(self, at: float, latency: float) -> None:
-        """One query answered -- whether executed, coalesced, or cached."""
+    def record_completion(self, at: float, latency: float,
+                          ttfa: float | None = None) -> None:
+        """One query answered -- whether executed, coalesced, or cached.
+
+        ``ttfa`` is the arrival-to-first-answer time; callers that
+        serve the whole answer at once (cache hits, follower release)
+        pass the latency itself, streaming consumers pass the first
+        emission's instant.  ``None`` (an empty top-k: no answer ever
+        existed to deliver first) records no TTFA sample.
+        """
         if latency < 0:
             raise ValueError(f"latency cannot be negative, got {latency}")
         self.completed += 1
         self.latencies.append(latency)
+        if ttfa is not None:
+            if ttfa < 0:
+                raise ValueError(f"ttfa cannot be negative, got {ttfa}")
+            self.ttfas.append(ttfa)
+        self.last_event = max(self.last_event, at)
+
+    def record_cancellation(self, at: float, ttfa: float | None = None) -> None:
+        """One query abandoned by its client before completion."""
+        self.cancelled += 1
+        if ttfa is not None:
+            self.ttfas.append(ttfa)
+        self.last_event = max(self.last_event, at)
+
+    def record_expiry(self, at: float, ttfa: float | None = None) -> None:
+        """One query retired by its deadline before completion."""
+        self.expired += 1
+        if ttfa is not None:
+            self.ttfas.append(ttfa)
         self.last_event = max(self.last_event, at)
 
     def record_cache_hit(self) -> None:
@@ -137,12 +173,15 @@ class Telemetry:
         out = cls()
         for part in parts:
             out.latencies.extend(part.latencies)
+            out.ttfas.extend(part.ttfas)
             out.submitted += part.submitted
             out.completed += part.completed
             out.served_from_cache += part.served_from_cache
             out.coalesced += part.coalesced
             out.rejected += part.rejected
             out.deferred += part.deferred
+            out.cancelled += part.cancelled
+            out.expired += part.expired
             out.no_results += part.no_results
             out.optimizer_wall += part.optimizer_wall
             out.optimizer_invocations += part.optimizer_invocations
@@ -164,6 +203,15 @@ class Telemetry:
             "p50": percentile(self.latencies, 50.0),
             "p95": percentile(self.latencies, 95.0),
             "p99": percentile(self.latencies, 99.0),
+        }
+
+    def ttfa_percentiles(self) -> dict[str, float | None]:
+        """Time-to-first-answer tails: how long a *streaming* consumer
+        waits before anything arrives (completion latency measures the
+        full top-k instead)."""
+        return {
+            "ttfa_p50": percentile(self.ttfas, 50.0),
+            "ttfa_p95": percentile(self.ttfas, 95.0),
         }
 
     def mean_latency(self) -> float | None:
@@ -219,6 +267,8 @@ class Telemetry:
             "coalesced": float(self.coalesced),
             "rejected": float(self.rejected),
             "deferred": float(self.deferred),
+            "cancelled": float(self.cancelled),
+            "expired": float(self.expired),
             "no_results": float(self.no_results),
             "elapsed_virtual_s": self.elapsed(),
             "throughput_qps": self.throughput(),
@@ -230,21 +280,27 @@ class Telemetry:
             "plan_delta_grafts": float(self.plan_delta_grafts),
         }
         out.update(self.latency_percentiles())
+        out.update(self.ttfa_percentiles())
         return out
 
     def render(self, cache_hit_rate: float | None = None) -> str:
         """The operator's summary block (the ``serve`` command prints it)."""
         pcts = self.latency_percentiles()
+        ttfa = self.ttfa_percentiles()
         hit_rate = self.plan_cache_hit_rate()
         lines = [
             f"served    : {self.completed}/{self.submitted} queries "
             f"({self.served_from_cache} from cache, "
             f"{self.coalesced} coalesced, {self.rejected} rejected, "
-            f"{self.deferred} deferred, {self.no_results} empty)",
+            f"{self.deferred} deferred, {self.cancelled} cancelled, "
+            f"{self.expired} expired, {self.no_results} empty)",
             f"latency   : p50 {fmt_stat(pcts['p50'], 's')}  "
             f"p95 {fmt_stat(pcts['p95'], 's')}  "
             f"p99 {fmt_stat(pcts['p99'], 's')}  "
             f"(mean {fmt_stat(self.mean_latency(), 's')}, virtual)",
+            f"ttfa      : p50 {fmt_stat(ttfa['ttfa_p50'], 's')}  "
+            f"p95 {fmt_stat(ttfa['ttfa_p95'], 's')}  "
+            f"(first answer, virtual)",
             f"throughput: {fmt_stat(self.throughput(), '', 2)} "
             f"queries/virtual s over {self.elapsed():.1f}s",
             f"optimizer : {self.optimizer_wall:.3f}s wall over "

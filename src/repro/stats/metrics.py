@@ -37,18 +37,35 @@ class UQRecord:
     results_returned: int = 0
     cqs_total: int = 0
     cqs_executed: int = 0
+    #: Virtual instant the rank-merge emitted its first answer (the
+    #: TTFA anchor), or ``None`` if nothing was ever emitted.
+    first_emitted: float | None = None
+    #: Terminal disposition: "completed", or "cancelled"/"expired"
+    #: when the query was retired early (``completed`` then records
+    #: the retirement instant, not a top-k completion).
+    outcome: str = "completed"
 
     @property
     def latency(self) -> float | None:
-        """Virtual seconds from arrival to top-k completion."""
-        if self.completed is None:
+        """Virtual seconds from arrival to top-k completion (``None``
+        for in-flight and early-retired queries)."""
+        if self.completed is None or self.outcome != "completed":
             return None
         return self.completed - self.arrival
 
     @property
+    def ttfa(self) -> float | None:
+        """Virtual seconds from arrival to the first emitted answer."""
+        if self.first_emitted is None:
+            return None
+        return max(self.first_emitted - self.arrival, 0.0)
+
+    @property
     def execution_time(self) -> float | None:
-        """Virtual seconds from first scheduling to completion."""
-        if self.completed is None:
+        """Virtual seconds from first scheduling to completion
+        (``None`` for early-retired queries, whose truncated spans
+        must not leak into the paper's timing distributions)."""
+        if self.completed is None or self.outcome != "completed":
             return None
         return self.completed - self.started
 
@@ -57,8 +74,9 @@ class UQRecord:
         """Virtual seconds from batch dispatch to completion: includes
         query optimization, matching the paper's Figure 7/9/12 timings
         ("our previous timings included query optimization as a
-        component") but not the batcher's collection wait."""
-        if self.completed is None:
+        component") but not the batcher's collection wait.  ``None``
+        for early-retired queries, like :attr:`latency`."""
+        if self.completed is None or self.outcome != "completed":
             return None
         start = self.dispatched if self.dispatched is not None \
             else self.started
