@@ -138,6 +138,18 @@ def run_profile(profile: str) -> dict:
         assert report.telemetry.completed == load_cfg.n_queries, str(mode)
         assert all(t.done for t in report.tickets), str(mode)
         metrics = report.engine_report.metrics
+        # The work counters are read back through the metrics registry,
+        # so the bench also gates that the registry's published view
+        # mirrors the engine's ledger exactly.
+        registry = service.metrics_registry()
+
+        def work(name: str) -> int:
+            return int(registry.get(name).value(mode=str(mode)))
+
+        stream_reads = work("repro_engine_stream_tuples_read_total")
+        probes = work("repro_engine_probes_total")
+        assert stream_reads == metrics.stream_tuples_read, str(mode)
+        assert probes == metrics.probes_performed, str(mode)
         percentiles = report.telemetry.latency_percentiles()
         modes[str(mode)] = {
             "wall_seconds": round(wall, 4),
@@ -145,9 +157,9 @@ def run_profile(profile: str) -> dict:
             "p50_latency_s": percentiles["p50"],
             "p95_latency_s": percentiles["p95"],
             "cache_hit_rate": report.cache_hit_rate,
-            "stream_tuples_read": metrics.stream_tuples_read,
-            "probes_performed": metrics.probes_performed,
-            "input_tuples": metrics.total_input_tuples,
+            "stream_tuples_read": stream_reads,
+            "probes_performed": probes,
+            "input_tuples": stream_reads + probes,
             "answers_digest": answers_digest(report.tickets),
         }
     return {
@@ -158,6 +170,121 @@ def run_profile(profile: str) -> dict:
         "calibration_seconds": round(calibrate(), 4),
         "modes": modes,
     }
+
+
+#: Arrivals for the tracing-overhead check: enough work for the wall
+#: clock to be meaningful, small enough that three interleaved repeats
+#: of three arms stay quick.
+OVERHEAD_LOAD = LoadConfig(n_queries=60, rate_qps=60.0, k=50,
+                           n_templates=16, template_theta=0.9,
+                           vocabulary_size=24, seed=7)
+
+
+def measure_trace_overhead(run_once, repeats: int = 3) -> dict:
+    """Time three arms of the same serving run and compare:
+
+    * ``bypass`` -- a no-tracer *build*: the engine's instrumented
+      drive hook is swapped for the raw controller call, as the code
+      stood before tracing existed;
+    * ``off``    -- the shipped code with the default no-op tracer
+      (every site behind one ``enabled`` check);
+    * ``on``     -- a live :class:`~repro.obs.trace.Tracer`.
+
+    ``run_once(tracer)`` must execute the workload and return
+    ``(wall_seconds, answers_digest)``.  Arms are interleaved round by
+    round -- within a round they run back to back, so machine-load
+    drift hits all three alike and the *per-round ratio* is the robust
+    overhead measure (structural overhead is multiplicative and
+    present in every round; noise is not).  Returns ``{arm:
+    {wall_seconds, walls, answers_digest}}``; the caller asserts
+    ``off`` within 2% of ``bypass`` on the best round and all digests
+    identical.
+    """
+    from repro.atc.controller import ATCController
+    from repro.atc.engine import QSystemEngine
+    from repro.obs.trace import Tracer
+
+    def bypass_drive(self, graph, deadline, stop=None):
+        ATCController(graph, self.qs).run_until(deadline, stop=stop)
+
+    walls: dict[str, list[float]] = {"bypass": [], "off": [], "on": []}
+    digests: dict[str, str] = {}
+    for _ in range(repeats):
+        for arm in walls:
+            if arm == "bypass":
+                original = QSystemEngine._drive_graph
+                QSystemEngine._drive_graph = bypass_drive
+                try:
+                    wall, digest = run_once(None)
+                finally:
+                    QSystemEngine._drive_graph = original
+            else:
+                wall, digest = run_once(Tracer() if arm == "on" else None)
+            walls[arm].append(wall)
+            assert digests.setdefault(arm, digest) == digest, arm
+    return {arm: {"wall_seconds": min(times),
+                  "walls": times,
+                  "answers_digest": digests[arm]}
+            for arm, times in walls.items()}
+
+
+def run_trace_overhead(repeats: int = 3) -> dict:
+    """The hot-path overhead check: 60 saturating arrivals, ATC-FULL."""
+    federation = gus_federation(GUS)
+    index = InvertedIndex(federation)
+    load = generate_load(federation, OVERHEAD_LOAD, index=index)
+
+    def run_once(tracer):
+        config = ExecutionConfig(mode=HEADLINE_MODE, k=OVERHEAD_LOAD.k,
+                                 batch_window=1.0,
+                                 optimizer_time_scale=0.0, seed=11)
+        service = QService(federation, config,
+                           ServiceConfig(max_in_flight=256), index=index,
+                           tracer=tracer)
+        started = time.perf_counter()
+        report = service.run(load)
+        wall = time.perf_counter() - started
+        return wall, answers_digest(report.tickets)
+
+    return measure_trace_overhead(run_once, repeats=repeats)
+
+
+def check_trace_overhead(arms: dict, tolerance: float = 0.02) -> list[str]:
+    """Failure messages for the overhead/identity contract."""
+    failures: list[str] = []
+    digests = {stats["answers_digest"] for stats in arms.values()}
+    if len(digests) != 1:
+        failures.append(
+            "answers digest differs across tracing arms: "
+            + ", ".join(f"{arm}={stats['answers_digest'][:12]}"
+                        for arm, stats in sorted(arms.items())))
+    # The best per-round ratio: a structural slowdown shows up in
+    # every round, so if even one round has tracing-off within
+    # tolerance of the no-tracer build, the off path is clean and the
+    # other rounds measured machine noise.
+    ratios = [off / bypass
+              for off, bypass in zip(arms["off"]["walls"],
+                                     arms["bypass"]["walls"])
+              if bypass > 0]
+    if ratios and min(ratios) > 1.0 + tolerance:
+        failures.append(
+            f"tracing-off wall exceeds the no-tracer build by more "
+            f"than {tolerance:.0%} in every round (best ratio "
+            f"{min(ratios):.3f}; off {arms['off']['walls']}, "
+            f"no-tracer {arms['bypass']['walls']})")
+    return failures
+
+
+def render_trace_overhead(arms: dict) -> str:
+    lines = ["tracing overhead (min over interleaved repeats):"]
+    bypass = arms["bypass"]["wall_seconds"]
+    for arm in ("bypass", "off", "on"):
+        wall = arms[arm]["wall_seconds"]
+        rel = f"  ({wall / bypass - 1.0:+.1%} vs no-tracer)" \
+            if bypass > 0 and arm != "bypass" else ""
+        lines.append(f"  {arm:7s} wall {wall:7.3f}s   "
+                     f"digest {arms[arm]['answers_digest'][:12]}{rel}")
+    return "\n".join(lines)
 
 
 def check_against_baseline(result: dict, baseline: dict, profile: str,
@@ -251,8 +378,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-regression", type=float, default=2.0,
                         help="fail if wall time exceeds this multiple of "
                              "the baseline (default 2.0)")
+    parser.add_argument("--trace-overhead", action="store_true",
+                        help="instead of a profile, run the tracing-"
+                             "overhead check: tracing-off wall time must "
+                             "stay within 2%% of a no-tracer build and "
+                             "answers must be identical across no-tracer "
+                             "/ off / on")
     args = parser.parse_args(argv)
     profile = "quick" if args.quick else args.profile
+
+    if args.trace_overhead:
+        arms = run_trace_overhead()
+        print(render_trace_overhead(arms))
+        failures = check_trace_overhead(arms)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
 
     result = run_profile(profile)
     print(render(result, profile))
@@ -296,6 +437,20 @@ def test_hotpath_quick(benchmark, save_result):
             if "digest" in f
         ]
         assert not failures, failures
+
+
+def test_trace_overhead(save_result, trace_overhead_enabled):
+    """Opt-in (``--trace-overhead``): the zero-overhead-when-off
+    contract, measured -- tracing off must stay within 2% of a build
+    with no tracer plumbing at all, and answers must be byte-identical
+    whether tracing is absent, off, or on."""
+    import pytest
+    if not trace_overhead_enabled:
+        pytest.skip("pass --trace-overhead to run the overhead check")
+    arms = run_trace_overhead()
+    save_result("hotpath_trace_overhead", render_trace_overhead(arms))
+    failures = check_trace_overhead(arms)
+    assert not failures, failures
 
 
 if __name__ == "__main__":

@@ -62,6 +62,7 @@ def run_bench():
     index = InvertedIndex(federation)
     load = generate_load(federation, LOAD, index=index)
     reports = {}
+    registry_work = {}
     for mode in ALL_MODES:
         # optimizer_time_scale=0 keeps the comparison bit-for-bit
         # deterministic: every other virtual cost is seeded, and real
@@ -72,11 +73,24 @@ def run_bench():
         service = QService(federation, config,
                            ServiceConfig(max_in_flight=256), index=index)
         reports[mode] = service.run(load)
-    return reports
+        # The work gauge the benchmark compares across modes is read
+        # through the metrics registry, so the bench also checks the
+        # published view against the engine's own ledger.
+        registry = service.metrics_registry()
+        registry_work[mode] = int(
+            registry.get("repro_engine_stream_tuples_read_total")
+            .value(mode=str(mode))
+            + registry.get("repro_engine_probes_total")
+            .value(mode=str(mode)))
+    return reports, registry_work
 
 
 def test_service_throughput(benchmark, save_result):
-    reports = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    reports, registry_work = benchmark.pedantic(run_bench, rounds=1,
+                                                iterations=1)
+    for mode, report in reports.items():
+        assert registry_work[mode] == \
+            report.engine_report.metrics.total_input_tuples, str(mode)
 
     table = SeriesTable(
         title=f"Sustained service throughput, open-loop load "
@@ -94,7 +108,7 @@ def test_service_throughput(benchmark, save_result):
             str(mode), tel.throughput(), pcts["p50"], pcts["p95"],
             pcts["p99"], ttfa["ttfa_p50"], ttfa["ttfa_p95"],
             report.cache_hit_rate,
-            float(report.engine_report.metrics.total_input_tuples),
+            float(registry_work[mode]),
         )
     save_result("service", table.render())
 
@@ -103,8 +117,7 @@ def test_service_throughput(benchmark, save_result):
         assert all(t.done for t in report.tickets), str(mode)
 
     tput = {mode: r.telemetry.throughput() for mode, r in reports.items()}
-    work = {mode: r.engine_report.metrics.total_input_tuples
-            for mode, r in reports.items()}
+    work = registry_work
     # Sharing is capacity: under the identical arrival stream, the
     # full-sharing configuration sustains strictly more throughput --
     # and consumes strictly fewer input tuples -- than no-sharing.
@@ -282,3 +295,44 @@ def test_sharded_routing(benchmark, save_result, bench_shards, bench_routing):
                 for p, r in reports.items()}
         assert tput["cluster"] >= tput["hash"]
         assert work["cluster"] <= work["hash"]
+
+
+def test_service_trace_overhead(save_result, trace_overhead_enabled):
+    """Opt-in (``--trace-overhead``): the serving stack's zero-
+    overhead-when-off contract on the service-bench federation --
+    tracing off must stay within 2% of a build with no tracer plumbing
+    at all, with byte-identical answers across all three arms."""
+    import time
+
+    import pytest
+
+    from bench_hotpath import (
+        answers_digest,
+        check_trace_overhead,
+        measure_trace_overhead,
+        render_trace_overhead,
+    )
+
+    if not trace_overhead_enabled:
+        pytest.skip("pass --trace-overhead to run the overhead check")
+    federation = _federation()
+    index = InvertedIndex(federation)
+    load_cfg = replace(LOAD, n_queries=60)
+    load = generate_load(federation, load_cfg, index=index)
+
+    def run_once(tracer):
+        config = ExecutionConfig(mode=SharingMode.ATC_FULL, k=load_cfg.k,
+                                 batch_window=1.0,
+                                 optimizer_time_scale=0.0, seed=11)
+        service = QService(federation, config,
+                           ServiceConfig(max_in_flight=256), index=index,
+                           tracer=tracer)
+        started = time.perf_counter()
+        report = service.run(load)
+        wall = time.perf_counter() - started
+        return wall, answers_digest(report.tickets)
+
+    arms = measure_trace_overhead(run_once)
+    save_result("service_trace_overhead", render_trace_overhead(arms))
+    failures = check_trace_overhead(arms)
+    assert not failures, failures

@@ -28,6 +28,17 @@ def pytest_addoption(parser: pytest.Parser) -> None:
         "--routing", default="hash,cluster",
         help="comma-separated routing policies the sharded benchmark "
              "runs and compares (default hash,cluster)")
+    obs = parser.getgroup("observability bench")
+    obs.addoption(
+        "--trace-overhead", action="store_true", default=False,
+        help="run the tracing-overhead checks: tracing-off wall time "
+             "must stay within 2%% of a no-tracer build, and answers "
+             "must be byte-identical across no-tracer / off / on")
+
+
+@pytest.fixture(scope="session")
+def trace_overhead_enabled(request) -> bool:
+    return request.config.getoption("--trace-overhead")
 
 
 @pytest.fixture(scope="session")

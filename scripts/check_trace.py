@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Validate a trace JSONL file against the span schema.
+
+Usage: ``python scripts/check_trace.py trace.jsonl [more.jsonl ...]``
+
+Each line must be one span object (see ``repro.obs.export.TRACE_SCHEMA``)
+and every per-query span tree must be structurally sound: parents before
+children, children nested inside their parents, exactly one ``terminal``
+child per finished root.  Exits nonzero listing every violation -- CI
+runs this over the artifacts ``repro serve --trace-dir`` writes.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "src"))
+
+from repro.obs.export import validate_trace_lines  # noqa: E402
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_trace.py <trace.jsonl> [more.jsonl ...]",
+              file=sys.stderr)
+        return 2
+    failures = 0
+    for name in argv:
+        path = pathlib.Path(name)
+        if not path.is_file():
+            print(f"{name}: not a file", file=sys.stderr)
+            failures += 1
+            continue
+        lines = path.read_text().splitlines()
+        errors = validate_trace_lines(lines)
+        if errors:
+            failures += 1
+            for error in errors:
+                print(f"{name}: {error}", file=sys.stderr)
+        else:
+            print(f"{name}: OK ({len(lines)} spans)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -85,6 +85,12 @@ class QueryBatcher:
         """User queries submitted but not yet handed to the optimizer."""
         return len(self._pending)
 
+    @property
+    def batches_closed(self) -> int:
+        """Batches handed to the optimizer so far (batch indices are
+        dense, so the next index is also the closed count)."""
+        return self._next_index
+
     def remove(self, uq_id: str) -> UserQuery | None:
         """Withdraw a still-collecting user query (cancellation before
         dispatch); returns it, or ``None`` if it already batched."""

@@ -34,10 +34,11 @@ from repro.data.database import Federation
 from repro.data.inverted import InvertedIndex
 from repro.keyword.candidates import CandidateNetworkGenerator
 from repro.keyword.queries import KeywordQuery, RankedAnswer, UserQuery
+from repro.obs.records import Metrics, OptimizerRecord, UQRecord
+from repro.obs.trace import NO_TRACER
 from repro.optimizer.cost import CostModel
 from repro.optimizer.repository import PlanRepository
 from repro.plan.graph import PlanGraph
-from repro.stats.metrics import Metrics, UQRecord
 
 
 @dataclass
@@ -93,9 +94,15 @@ class QSystemEngine:
     def __init__(self, federation: Federation, config: ExecutionConfig,
                  generator: CandidateNetworkGenerator | None = None,
                  index: InvertedIndex | None = None,
-                 repository: PlanRepository | None = None) -> None:
+                 repository: PlanRepository | None = None,
+                 tracer=None) -> None:
         self.federation = federation
         self.config = config
+        #: Per-query trace recorder (:mod:`repro.obs.trace`).  The
+        #: default no-op tracer keeps every instrumentation site behind
+        #: one ``enabled`` check; tracing only reads clocks that
+        #: already advanced, so answers are identical either way.
+        self.tracer = tracer if tracer is not None else NO_TRACER
         self.index = index if index is not None else InvertedIndex(federation)
         #: The plan repository may be an externally owned, *shared*
         #: tier: the sharded service hands every shard worker the same
@@ -226,13 +233,41 @@ class QSystemEngine:
         due = {d for d in self._deadlines.values() if d < until}
         return sorted(due) + [until]
 
+    def _drive_graph(self, graph: PlanGraph, deadline: float | None,
+                     stop=None) -> None:
+        """Run one graph's ATC (to ``deadline``, or to completion with
+        ``None``), recording the drive as one ``execution`` trace slice
+        per incomplete rank-merge when tracing is on.  A rider that
+        completes or retires mid-slice has its slice clipped at its own
+        completion instant, so execution spans never outlive the
+        query's terminal."""
+        tracer = self.tracer
+        if not tracer.enabled:
+            ATCController(graph, self.qs).run_until(deadline, stop=stop)
+            return
+        riders = [rm.uq.uq_id for rm in graph.incomplete_rank_merges()]
+        v0 = graph.clock.now
+        w0 = tracer.wall()
+        ATCController(graph, self.qs).run_until(deadline, stop=stop)
+        v1 = graph.clock.now
+        if v1 <= v0 or not riders:
+            return
+        w1 = tracer.wall()
+        for uq_id in riders:
+            end = v1
+            record = graph.metrics.uq_records.get(uq_id)
+            if record is not None and record.completed is not None:
+                end = min(v1, max(record.completed, v0))
+            tracer.span_uq(uq_id, "execution", v0, end, wall=(w0, w1),
+                           graph=graph.graph_id)
+
     def _step_to(self, until: float) -> None:
         """One execution segment of :meth:`step`."""
         for batch in self.batcher.pop_ready(until):
             self._run_batch(batch)
         for graph_id in sorted(self._active_graphs):
             graph = self.qs.graphs[graph_id]
-            ATCController(graph, self.qs).run_until(until)
+            self._drive_graph(graph, until)
             self.qs.enforce_budget(graph)
             if graph.clock.now > self._clock_high:
                 self._clock_high = graph.clock.now
@@ -338,7 +373,7 @@ class QSystemEngine:
             boundary = min(
                 (d for u, d in self._deadlines.items()
                  if self.qs.uq_graphs.get(u) == graph_id), default=None)
-            ATCController(graph, self.qs).run_until(boundary, stop=stop)
+            self._drive_graph(graph, boundary, stop=stop)
             if boundary is None or graph.clock.now < boundary:
                 break
             # The graph executed up to this instant: every co-resident
@@ -381,14 +416,14 @@ class QSystemEngine:
             boundary = min(self._deadlines.values())
             for graph_id in sorted(self._active_graphs):
                 graph = self.qs.graphs[graph_id]
-                ATCController(graph, self.qs).run_until(boundary)
+                self._drive_graph(graph, boundary)
                 self.qs.enforce_budget(graph)
                 if graph.clock.now > self._clock_high:
                     self._clock_high = graph.clock.now
             self._expire_due(boundary)
         for graph_id in sorted(self._active_graphs):
             graph = self.qs.graphs[graph_id]
-            ATCController(graph, self.qs).run_until_complete()
+            self._drive_graph(graph, None)
             self.qs.enforce_budget(graph)
             if graph.clock.now > self._clock_high:
                 self._clock_high = graph.clock.now
@@ -466,10 +501,14 @@ class QSystemEngine:
         for graph_id, uqs in groups:
             graph = self.qs.get_or_create_graph(graph_id)
             self._active_graphs.add(graph_id)
-            ATCController(graph, self.qs).run_until(batch.dispatch_time)
+            self._drive_graph(graph, batch.dispatch_time)
             graph.clock.advance_to(batch.dispatch_time)
             dispatched = graph.clock.now
-            self._optimize_and_graft(graph, uqs)
+            tracing = self.tracer.enabled
+            layers_before = self.repository.stats.snapshot() if tracing \
+                else None
+            wall_before = self.tracer.wall() if tracing else 0.0
+            record = self._optimize_and_graft(graph, uqs)
             for uq in uqs:
                 graph.metrics.record_uq(UQRecord(
                     uq_id=uq.uq_id,
@@ -477,6 +516,9 @@ class QSystemEngine:
                     dispatched=dispatched,
                     started=graph.clock.now,
                 ))
+            if tracing:
+                self._trace_dispatch(graph, batch, uqs, dispatched, record,
+                                     layers_before, wall_before)
             if graph.clock.now > self._clock_high:
                 self._clock_high = graph.clock.now
 
@@ -499,9 +541,9 @@ class QSystemEngine:
         return sorted(groups.items())
 
     def _optimize_and_graft(self, graph: PlanGraph,
-                            uqs: list[UserQuery]) -> None:
+                            uqs: list[UserQuery]) -> OptimizerRecord:
         """Optimize one group through the plan repository and graft the
-        resulting plan.  The repository serves candidate enumeration,
+        resulting plan; returns the invocation's record.  The repository serves candidate enumeration,
         best-plan search, and factorization from its caches whenever
         the group's templates (and the reuse oracle's fingerprint)
         match earlier work; the measured wall time -- cache hits make
@@ -519,3 +561,45 @@ class QSystemEngine:
         graph.metrics.optimizer_records.append(outcome.record)
         self.qs.register_plan(graph, outcome.plan, uqs)
         self.qs.unpin_all(graph)
+        return outcome.record
+
+    def _trace_dispatch(self, graph: PlanGraph, batch: Batch,
+                        uqs: list[UserQuery], dispatched: float, record,
+                        layers_before: dict, wall_before: float) -> None:
+        """Record one dispatch's spans for every query in the group:
+        the ``batch_window`` wait, the ``optimize`` span, and -- from
+        the repository ledger's deltas across this invocation -- the
+        template / plan-repository / candidate-enumeration /
+        factorization child events."""
+        tracer = self.tracer
+        wall_after = tracer.wall()
+        deltas = {
+            key: value - layers_before.get(key, 0.0)
+            for key, value in self.repository.stats.snapshot().items()
+            if key != "hit_rate" and value is not None
+        }
+        for uq in uqs:
+            tracer.span_uq(uq.uq_id, "batch_window", uq.arrival, dispatched,
+                           batch=batch.index, batch_size=len(batch.uqs))
+            opt = tracer.span_uq(
+                uq.uq_id, "optimize", dispatched, graph.clock.now,
+                wall=(wall_before, wall_after), group_size=len(uqs),
+                candidates=record.candidate_count,
+                plans_explored=record.plans_explored,
+                optimizer_wall_s=round(record.elapsed_wall, 6))
+            if opt is None:
+                continue
+            tracer.child(opt, "template_lookup", dispatched,
+                         hits=int(deltas["template_hits"]),
+                         misses=int(deltas["template_misses"]))
+            tracer.child(opt, "plan_repository", dispatched,
+                         outcome="hit" if deltas["plan_hits"] else "miss",
+                         hits=int(deltas["plan_hits"]),
+                         misses=int(deltas["plan_misses"]))
+            tracer.child(opt, "candidate_enumeration", dispatched,
+                         cached=int(deltas["candidate_hits"]),
+                         enumerated=int(deltas["candidate_misses"]))
+            tracer.child(opt, "factorization", dispatched, graph.clock.now,
+                         delta_grafts=record.delta_grafts,
+                         fragment_hits=int(deltas["fragment_hits"]),
+                         fragment_misses=int(deltas["fragment_misses"]))

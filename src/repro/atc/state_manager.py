@@ -43,7 +43,7 @@ from repro.plan.graph import PlanGraph
 def finalize_uq_record(graph: PlanGraph, rm: RankMerge,
                        at: float | None = None,
                        outcome: str | None = None) -> None:
-    """Close out one user query's :class:`~repro.stats.metrics.
+    """Close out one user query's :class:`~repro.obs.records.
     UQRecord` from its rank-merge's final state -- the single place
     completion (the ATC) and early retirement (the QS manager) both
     settle latency/work accounting, so the two paths cannot drift.
@@ -463,7 +463,7 @@ class QueryStateManager:
         return self._total_state
 
     def merged_metrics(self):
-        from repro.stats.metrics import Metrics
+        from repro.obs.records import Metrics
 
         merged = Metrics()
         for graph in self.graphs.values():

@@ -10,7 +10,11 @@ Commands:
   sharing mode and print the per-query report;
 * ``serve`` -- run the online query service under an open-loop
   Poisson/Zipf load and print tail latencies, throughput, and the
-  answer-cache hit rate.
+  answer-cache hit rate; ``--trace-dir`` / ``--metrics-out`` export
+  per-query span trees (JSONL) and the metrics registry (Prometheus
+  text or JSONL);
+* ``explain <keywords...>`` -- trace one query end to end and print
+  its span tree with a per-stage virtual/wall breakdown.
 """
 
 from __future__ import annotations
@@ -105,6 +109,27 @@ def _build_parser() -> argparse.ArgumentParser:
                             "looser thresholds merge everything into one "
                             "over-shared cluster on small corpora "
                             "(default 0.7)")
+    serve.add_argument("--trace-dir", default=None, metavar="DIR",
+                       help="record a span tree per query and write them "
+                            "as JSONL under DIR after the run (tracing is "
+                            "off, and zero-overhead, without this flag)")
+    serve.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="export the metrics registry after the run: "
+                            "Prometheus text when FILE ends in .prom/.txt, "
+                            "JSONL otherwise")
+
+    explain = sub.add_parser(
+        "explain",
+        help="trace one keyword query end to end and print its span "
+             "tree with per-stage virtual/wall timings")
+    explain.add_argument("keywords", nargs="+",
+                         help="keywords (quote multi-word phrases)")
+    explain.add_argument("-k", type=int, default=10,
+                         help="top-k (default 10)")
+    explain.add_argument("--mode", default="ATC-FULL",
+                         choices=[str(m) for m in SharingMode])
+    explain.add_argument("--trace-dir", default=None, metavar="DIR",
+                         help="also dump the trace as JSONL under DIR")
     return parser
 
 
@@ -223,19 +248,79 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     if args.shards < 1:
         raise ValueError(f"--shards must be positive, got {args.shards}")
+    tracer = None
+    if args.trace_dir is not None:
+        from repro.obs.trace import Tracer
+        tracer = Tracer()
     if args.shards > 1:
         service = ShardedQService(federation, config, n_shards=args.shards,
                                   routing=args.routing,
-                                  service=service_config)
+                                  service=service_config, tracer=tracer)
         fleet_note = f", {args.shards} shards via {args.routing}"
     else:
-        service = QService(federation, config, service_config)
+        service = QService(federation, config, service_config,
+                           tracer=tracer)
         fleet_note = ""
     print(f"serving {len(load)} arrivals at ~{args.rate:g} q/s "
           f"({args.templates} templates, mode {args.mode}, "
           f"corpus {args.corpus}{fleet_note})...")
     report = service.run(load)
     print(report.render())
+    if tracer is not None:
+        from repro.obs.export import write_trace
+        path = write_trace(tracer, args.trace_dir)
+        print(f"traces    : {len(tracer.traces())} queries -> {path}")
+    if args.metrics_out is not None:
+        from repro.obs.export import write_metrics
+        fmt = write_metrics(service.metrics_registry(), args.metrics_out)
+        print(f"metrics   : {fmt} -> {args.metrics_out}")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from repro.data.figure1 import figure1_federation
+    from repro.keyword.queries import KeywordQuery
+    from repro.obs.trace import Tracer
+    from repro.service import QService
+
+    federation = figure1_federation()
+    config = ExecutionConfig(mode=_mode_from_name(args.mode), k=args.k)
+    tracer = Tracer()
+    service = QService(federation, config, tracer=tracer)
+    handle = service.submit(
+        KeywordQuery("Q", tuple(args.keywords), k=args.k))
+    service.drain()
+    answers = handle.answers or []
+    if answers:
+        for rank, answer in enumerate(answers, start=1):
+            rows = ", ".join(
+                f"{rel}#{tid}" for _a, rel, tid in sorted(answer.provenance))
+            print(f"{rank:3d}. {answer.score:.4f}  {answer.cq_id}  [{rows}]")
+    else:
+        note = f" ({handle.reason})" if handle.reason else ""
+        print(f"no results{note}")
+    trace = handle.trace()
+    if trace is None:
+        print("no trace recorded")
+        return 0
+    print()
+    print(trace.render())
+    # Per-stage rollup: how the query's end-to-end virtual latency and
+    # the process's wall time split across the pipeline stages.
+    print()
+    print("stage breakdown (top-level spans):")
+    totals: dict[str, tuple[float, float]] = {}
+    for span in trace.root.children:
+        dv, dw = totals.get(span.name, (0.0, 0.0))
+        totals[span.name] = (dv + (span.v_duration or 0.0),
+                             dw + (span.w_duration or 0.0))
+    for name, (dv, dw) in sorted(totals.items(),
+                                 key=lambda kv: -kv[1][0]):
+        print(f"  {name:<24} {dv:8.3f}s virtual  {dw * 1e3:8.3f}ms wall")
+    if args.trace_dir is not None:
+        from repro.obs.export import write_trace
+        path = write_trace(tracer, args.trace_dir)
+        print(f"\ntrace written to {path}")
     return 0
 
 
@@ -246,6 +331,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": cmd_experiment,
         "workload": cmd_workload,
         "serve": cmd_serve,
+        "explain": cmd_explain,
     }
     try:
         return handlers[args.command](args)

@@ -37,7 +37,7 @@ from repro.common.rng import poisson_delay
 from repro.data.database import Database
 from repro.data.rows import Row, STuple
 from repro.plan.expressions import SPJ
-from repro.stats.metrics import Metrics
+from repro.obs.records import Metrics
 
 #: Score bound reported by an exhausted stream.
 EXHAUSTED = -math.inf

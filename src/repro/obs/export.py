@@ -1,0 +1,141 @@
+"""Exporters: metrics to Prometheus text / JSONL, traces to JSONL.
+
+Also home of :func:`validate_trace_lines`, the schema check behind
+``scripts/check_trace.py`` and the CI smoke job: it verifies the JSONL
+trace dump structurally (required keys and types, parents before
+children, one root per query, nesting, exactly one terminal span per
+finished query) without needing anything outside the stdlib.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections.abc import Iterable
+
+from repro.obs.instruments import MetricsRegistry
+from repro.obs.trace import ROOT, TERMINAL, Tracer
+
+#: Required keys of one trace JSONL line and their accepted types.
+TRACE_SCHEMA: dict[str, tuple] = {
+    "query": (str,),
+    "span": (int,),
+    "parent": (int, type(None)),
+    "name": (str,),
+    "virtual_start": (int, float),
+    "virtual_end": (int, float, type(None)),
+    "wall_start": (int, float),
+    "wall_end": (int, float, type(None)),
+    "attrs": (dict,),
+}
+
+
+def write_metrics(registry: MetricsRegistry, path: str | pathlib.Path) -> str:
+    """Write one registry snapshot; the extension picks the format
+    (``.prom``/``.txt`` -> Prometheus text exposition, anything else ->
+    JSONL, one instrument per line).  Returns the format written."""
+    path = pathlib.Path(path)
+    if path.suffix in (".prom", ".txt"):
+        path.write_text(registry.render_prometheus())
+        return "prometheus"
+    path.write_text("\n".join(registry.jsonl_lines()) + "\n")
+    return "jsonl"
+
+
+def write_trace(tracer: Tracer, directory: str | pathlib.Path,
+                name: str = "trace.jsonl") -> pathlib.Path:
+    """Dump every recorded trace as JSONL under ``directory``."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / name
+    with path.open("w") as fh:
+        tracer.dump_jsonl(fh)
+    return path
+
+
+def validate_trace_lines(lines: Iterable[str]) -> list[str]:
+    """Check a JSONL trace dump against the schema; returns the list
+    of violations (empty means valid)."""
+    errors: list[str] = []
+    #: (query, root-ordinal) -> span id -> (start, end, name); roots are
+    #: numbered so archived re-submissions of one query id stay separate
+    #: trees.
+    trees: dict[tuple[str, int], dict[int, tuple]] = {}
+    roots_seen: dict[str, int] = {}
+    current_tree: dict[str, tuple[str, int]] = {}
+    terminals: dict[tuple[str, int], int] = {}
+    root_spans: dict[tuple[str, int], tuple] = {}
+
+    for i, raw in enumerate(lines, start=1):
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            row = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {i}: not valid JSON ({exc})")
+            continue
+        missing = [k for k in TRACE_SCHEMA if k not in row]
+        if missing:
+            errors.append(f"line {i}: missing keys {missing}")
+            continue
+        bad = [k for k, types in TRACE_SCHEMA.items()
+               if not isinstance(row[k], types)]
+        if bad:
+            errors.append(f"line {i}: wrong types for {bad}")
+            continue
+        qid = row["query"]
+        v0, v1 = row["virtual_start"], row["virtual_end"]
+        if v1 is not None and v1 < v0:
+            errors.append(f"line {i}: span {row['name']!r} of {qid} ends "
+                          f"before it starts ({v1} < {v0})")
+        if row["parent"] is None:
+            if row["name"] != ROOT:
+                errors.append(f"line {i}: root span of {qid} is named "
+                              f"{row['name']!r}, expected {ROOT!r}")
+            if row["span"] != 0:
+                errors.append(f"line {i}: root span of {qid} has id "
+                              f"{row['span']}, expected 0")
+            ordinal = roots_seen.get(qid, 0)
+            roots_seen[qid] = ordinal + 1
+            key = (qid, ordinal)
+            current_tree[qid] = key
+            trees[key] = {0: (v0, v1, row["name"])}
+            root_spans[key] = (v0, v1, row.get("attrs", {}))
+            continue
+        key = current_tree.get(qid)
+        if key is None:
+            errors.append(f"line {i}: span of {qid} appeared before "
+                          f"its root")
+            continue
+        tree = trees[key]
+        if row["span"] in tree:
+            errors.append(f"line {i}: duplicate span id {row['span']} "
+                          f"for {qid}")
+            continue
+        parent = tree.get(row["parent"])
+        if parent is None:
+            errors.append(f"line {i}: span {row['span']} of {qid} "
+                          f"references unseen parent {row['parent']}")
+            continue
+        p0, p1, _pname = parent
+        if v0 < p0 - 1e-9 or (p1 is not None and v1 is not None
+                              and v1 > p1 + 1e-9):
+            errors.append(f"line {i}: span {row['name']!r} of {qid} "
+                          f"[{v0}, {v1}] escapes its parent [{p0}, {p1}]")
+        tree[row["span"]] = (v0, v1, row["name"])
+        if row["name"] == TERMINAL:
+            terminals[key] = terminals.get(key, 0) + 1
+
+    for key, (_v0, v1, attrs) in root_spans.items():
+        qid = key[0]
+        if v1 is None:
+            continue   # an unfinished (still-open) trace is legal
+        n = terminals.get(key, 0)
+        if n != 1:
+            errors.append(f"query {qid}: {n} terminal spans, expected "
+                          f"exactly 1")
+        if "disposition" not in attrs:
+            errors.append(f"query {qid}: finished root has no "
+                          f"disposition attribute")
+    return errors

@@ -1,0 +1,292 @@
+"""Typed metric instruments and the registry that owns them.
+
+Three instrument kinds, deliberately Prometheus-shaped:
+
+* :class:`Counter` -- a monotone total.  ``set()`` exists for
+  *derived* counters republished from a cumulative source (the
+  repository's cache ledger, the engine's work totals): the source is
+  monotone, the instrument mirrors it absolutely at collect time.
+* :class:`Gauge` -- a point-in-time level (resident cache entries,
+  stored state tuples, batcher backlog).
+* :class:`Histogram` -- cumulative fixed-bucket counts plus sum/count,
+  rendered in the standard ``_bucket{le=...}`` exposition.
+
+Every instrument is label-aware: each ``(name, labels)`` pair is one
+sample, so a single ``repro_plan_repository_hits_total`` instrument
+carries one sample per cache layer, and the sharded front door merges
+per-worker registries by stamping a ``shard`` label on every sample
+(:meth:`MetricsRegistry.merged`).
+
+Hot paths never format label strings or touch the registry: components
+register a *collector* callback (:meth:`MetricsRegistry.add_collector`)
+that republishes their existing cheap counters into instruments only
+when a snapshot or export is requested.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable, Iterable, Sequence
+
+#: Default histogram buckets, in virtual seconds.  The serving tier's
+#: latencies live in the 0.1s..300s range under the quick profiles.
+DEFAULT_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+                   30.0, 60.0, 120.0, 300.0)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _label_str(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    return "{" + inner + "}"
+
+
+class Instrument:
+    """Common surface: a named family of labelled samples."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._samples: dict[LabelKey, float] = {}
+
+    # -- writing ------------------------------------------------------------
+
+    def set(self, value: float, **labels: str) -> None:
+        self._samples[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = _label_key(labels)
+        self._samples[key] = self._samples.get(key, 0.0) + amount
+
+    # -- reading ------------------------------------------------------------
+
+    def value(self, **labels: str) -> float:
+        return self._samples.get(_label_key(labels), 0.0)
+
+    def samples(self) -> dict[LabelKey, float]:
+        return dict(self._samples)
+
+    def expose(self) -> list[tuple[str, LabelKey, float]]:
+        """(suffix, labels, value) triples for the text exposition."""
+        return [("", key, value)
+                for key, value in sorted(self._samples.items())]
+
+
+class Counter(Instrument):
+    """A monotone total.  ``inc`` for live counting, ``set`` for
+    mirroring an already-cumulative source at collect time."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name} cannot decrease (inc {amount})")
+        super().inc(amount, **labels)
+
+
+class Gauge(Instrument):
+    """A point-in-time level; goes up and down freely."""
+
+    kind = "gauge"
+
+
+class Histogram(Instrument):
+    """Fixed-bucket cumulative histogram with sum and count per label
+    set.  ``observe`` records one sample; ``set_samples`` replaces a
+    label set's distribution wholesale (used by derived publishers that
+    keep the raw sample list elsewhere)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Sequence[float] | None = None) -> None:
+        super().__init__(name, help)
+        self.buckets = tuple(sorted(buckets or DEFAULT_BUCKETS))
+        #: label key -> (per-bucket counts (+inf last), sum, count)
+        self._dists: dict[LabelKey, tuple[list[int], float, int]] = {}
+
+    def _dist(self, key: LabelKey) -> tuple[list[int], float, int]:
+        if key not in self._dists:
+            self._dists[key] = ([0] * (len(self.buckets) + 1), 0.0, 0)
+        return self._dists[key]
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = _label_key(labels)
+        counts, total, n = self._dist(key)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                counts[i] += 1
+                break
+        else:
+            counts[-1] += 1
+        self._dists[key] = (counts, total + value, n + 1)
+
+    def set_samples(self, values: Iterable[float], **labels: str) -> None:
+        key = _label_key(labels)
+        self._dists.pop(key, None)
+        counts, total, n = self._dist(key)
+        for value in values:
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[i] += 1
+                    break
+            else:
+                counts[-1] += 1
+            total += value
+            n += 1
+        self._dists[key] = (counts, total, n)
+
+    def merge_dist(self, key: LabelKey,
+                   dist: tuple[list[int], float, int]) -> None:
+        counts, total, n = self._dist(key)
+        other_counts, other_total, other_n = dist
+        for i, c in enumerate(other_counts[:len(counts)]):
+            counts[i] += c
+        self._dists[key] = (counts, total + other_total, n + other_n)
+
+    def dists(self) -> dict[LabelKey, tuple[list[int], float, int]]:
+        return {key: (list(counts), total, n)
+                for key, (counts, total, n) in self._dists.items()}
+
+    def count(self, **labels: str) -> int:
+        return self._dist(_label_key(labels))[2]
+
+    def sum(self, **labels: str) -> float:
+        return self._dist(_label_key(labels))[1]
+
+    def expose(self) -> list[tuple[str, LabelKey, float]]:
+        rows: list[tuple[str, LabelKey, float]] = []
+        for key, (counts, total, n) in sorted(self._dists.items()):
+            cumulative = 0
+            for bound, c in zip(self.buckets, counts):
+                cumulative += c
+                rows.append(("_bucket", key + (("le", f"{bound:g}"),),
+                             float(cumulative)))
+            rows.append(("_bucket", key + (("le", "+Inf"),), float(n)))
+            rows.append(("_sum", key, total))
+            rows.append(("_count", key, float(n)))
+        return rows
+
+
+class MetricsRegistry:
+    """One namespace of instruments plus the collector callbacks that
+    refresh derived instruments before any snapshot or export."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Instrument] = {}
+        self._collectors: list[Callable[[], None]] = []
+
+    # -- registration --------------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, help: str,
+                       **kwargs) -> Instrument:
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TypeError(
+                    f"instrument {name!r} already registered as "
+                    f"{existing.kind}, requested {cls.kind}")
+            return existing
+        instrument = cls(name, help, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] | None = None) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def add_collector(self, fn: Callable[[], None]) -> None:
+        """Register a callback that republishes a component's counters
+        into instruments; runs on every :meth:`collect`."""
+        self._collectors.append(fn)
+
+    # -- reading -------------------------------------------------------------
+
+    def collect(self) -> None:
+        for fn in self._collectors:
+            fn()
+
+    def instruments(self) -> list[Instrument]:
+        return [self._instruments[name]
+                for name in sorted(self._instruments)]
+
+    def get(self, name: str) -> Instrument | None:
+        return self._instruments.get(name)
+
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-shaped view: name -> {type, help, samples: [...]}, with
+        derived instruments refreshed first."""
+        self.collect()
+        out: dict[str, dict] = {}
+        for inst in self.instruments():
+            out[inst.name] = {
+                "type": inst.kind,
+                "help": inst.help,
+                "samples": [
+                    {"suffix": suffix, "labels": dict(key), "value": value}
+                    for suffix, key, value in inst.expose()
+                ],
+            }
+        return out
+
+    def render_prometheus(self) -> str:
+        """The standard text exposition format."""
+        self.collect()
+        lines: list[str] = []
+        for inst in self.instruments():
+            if inst.help:
+                lines.append(f"# HELP {inst.name} {inst.help}")
+            lines.append(f"# TYPE {inst.name} {inst.kind}")
+            for suffix, key, value in inst.expose():
+                rendered = f"{value:g}"
+                lines.append(
+                    f"{inst.name}{suffix}{_label_str(key)} {rendered}")
+        return "\n".join(lines) + "\n"
+
+    def jsonl_lines(self) -> list[str]:
+        """One JSON object per instrument (the JSONL metric export)."""
+        snap = self.snapshot()
+        return [json.dumps({"name": name, **body}, sort_keys=True)
+                for name, body in snap.items()]
+
+    # -- merging -------------------------------------------------------------
+
+    @classmethod
+    def merged(cls, parts: Iterable[
+            tuple["MetricsRegistry", dict[str, str]]]) -> "MetricsRegistry":
+        """Fold several registries into a fresh one, stamping each
+        part's samples with its extra labels (the sharded service
+        passes ``{"shard": str(i)}`` per worker and ``{}`` for the
+        front door).  Counter/gauge samples with identical final labels
+        add; histogram distributions merge bucket-wise."""
+        out = cls()
+        for registry, extra in parts:
+            registry.collect()
+            for inst in registry.instruments():
+                if isinstance(inst, Histogram):
+                    target = out.histogram(inst.name, inst.help,
+                                           buckets=inst.buckets)
+                    for key, dist in inst.dists().items():
+                        merged_key = _label_key(dict(key) | extra)
+                        target.merge_dist(merged_key, dist)
+                    continue
+                target = (out.counter if isinstance(inst, Counter)
+                          else out.gauge)(inst.name, inst.help)
+                for key, value in inst.samples().items():
+                    target.inc(value, **(dict(key) | extra))
+        return out

@@ -40,7 +40,7 @@ from repro.data.rows import STuple
 from repro.data.sources import EXHAUSTED, ListSource, RandomAccessSource, StreamingSource
 from repro.operators.access import AccessModule, ModuleProbeView
 from repro.plan.expressions import SPJ, JoinPred
-from repro.stats.metrics import Metrics
+from repro.obs.records import Metrics
 
 
 class Consumer(Protocol):

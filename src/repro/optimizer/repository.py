@@ -74,7 +74,7 @@ from repro.optimizer.factorize import (
     source_node_id,
 )
 from repro.plan.expressions import SPJ
-from repro.stats.metrics import OptimizerRecord
+from repro.obs.records import OptimizerRecord
 
 #: One cached expansion: (expr, score, matches) per conjunctive query,
 #: in the generator's enumeration order (pre upper-bound sort) -- the

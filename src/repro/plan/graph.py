@@ -29,7 +29,7 @@ from repro.data.sources import RandomAccessSource, StreamingSource
 from repro.operators.nodes import InputUnit, MJoinNode, RecoveryUnit, Supplier
 from repro.operators.rankmerge import RankMerge
 from repro.plan.expressions import SPJ
-from repro.stats.metrics import Metrics
+from repro.obs.records import Metrics
 
 AnySupplier = Union[InputUnit, MJoinNode, RecoveryUnit]
 

@@ -203,6 +203,19 @@ class QueryHandle:
             return False
         return self.service.cancel(self)
 
+    # -- observability ------------------------------------------------------
+
+    def trace(self):
+        """This query's span tree (:class:`~repro.obs.trace.
+        QueryTrace`), or ``None`` when the serving side ran without a
+        tracer (the zero-overhead default) or the handle is detached."""
+        if self.service is None:
+            return None
+        trace_of = getattr(self.service, "trace_of", None)
+        if trace_of is None:
+            return None
+        return trace_of(self)
+
     def __repr__(self) -> str:
         return (f"QueryHandle({self.kq_id}, {self.status.value}"
                 f"{f' via {self.via}' if self.via else ''})")
@@ -264,6 +277,15 @@ class QueryServiceProtocol(Protocol):
 
     def report(self):
         """Snapshot the current service report."""
+        ...
+
+    def trace_of(self, handle: QueryHandle):
+        """The handle's span tree, or ``None`` when tracing is off."""
+        ...
+
+    def metrics_registry(self):
+        """The service's metric namespace with collectors refreshed
+        (the sharded service returns the shard-labelled fleet merge)."""
         ...
 
 

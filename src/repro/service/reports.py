@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from repro.atc.engine import EngineReport
 from repro.service.handle import QueryHandle
 from repro.service.telemetry import Telemetry
-from repro.stats.metrics import Metrics
+from repro.obs.records import Metrics
 
 
 @dataclass
@@ -129,8 +129,18 @@ class ShardedReport(ServiceReportBase):
         lines = []
         for i, report in enumerate(self.shard_reports):
             tel = report.telemetry
+            extras = []
+            for label, count in (("coalesced", tel.coalesced),
+                                 ("cache", tel.served_from_cache),
+                                 ("deferred", tel.deferred),
+                                 ("cancelled", tel.cancelled),
+                                 ("expired", tel.expired),
+                                 ("rejected", tel.rejected)):
+                if count:
+                    extras.append(f"{count} {label}")
+            trailer = f" ({', '.join(extras)})" if extras else ""
             lines.append(
                 f"  shard {i}: {tel.completed}/{tel.submitted} served, "
                 f"{report.engine_metrics().total_input_tuples} "
-                f"input tuples")
+                f"input tuples{trailer}")
         return lines

@@ -61,6 +61,8 @@ from repro.data.database import Federation
 from repro.data.inverted import InvertedIndex
 from repro.keyword.candidates import CandidateNetworkGenerator
 from repro.keyword.queries import KeywordQuery, RankedAnswer, UserQuery
+from repro.obs.instruments import MetricsRegistry
+from repro.obs.trace import NO_TRACER, QueryTrace
 from repro.operators.rankmerge import RankMerge
 from repro.optimizer.repository import PlanRepository
 from repro.service.admission import AdmissionController
@@ -112,18 +114,34 @@ class QService:
                  generator: CandidateNetworkGenerator | None = None,
                  index: InvertedIndex | None = None,
                  cache: ResultCache | None = None,
-                 repository: PlanRepository | None = None) -> None:
+                 repository: PlanRepository | None = None,
+                 registry: MetricsRegistry | None = None,
+                 tracer=None) -> None:
         self.service_config = service or ServiceConfig()
+        #: Per-query trace recorder; the no-op default keeps every
+        #: instrumentation site behind one ``enabled`` check.
+        self.tracer = tracer if tracer is not None else NO_TRACER
+        #: The service's metric namespace.  Components this service
+        #: *owns* publish into it via collectors (refreshed only at
+        #: snapshot/export time); shared tiers handed in from outside
+        #: (the sharded front door's cache and plan repository) are
+        #: published by their owner, so fleet merges never double
+        #: count.
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
         # ``repository`` may, like the cache, be a shared tier: the
         # sharded service hands every shard the same plan repository,
         # so one shard's optimization work serves every shard's
         # repeats.
+        self._owns_repository = repository is None
         self.engine = QSystemEngine(federation, config,
                                     generator=generator, index=index,
-                                    repository=repository)
+                                    repository=repository,
+                                    tracer=self.tracer)
         # ``cache`` may be an externally owned, *shared* tier: the
         # sharded service hands every shard the same instance, so one
         # shard's completions serve every shard's repeats.
+        self._owns_cache = cache is None
         self.cache = cache if cache is not None else ResultCache(
             ttl=self.service_config.cache_ttl,
             capacity=self.service_config.cache_capacity)
@@ -132,7 +150,8 @@ class QService:
             max_state_tuples=self.service_config.max_state_tuples,
             policy=self.service_config.admission_policy,
         )
-        self.telemetry = Telemetry()
+        self.telemetry = Telemetry(self.registry)
+        self.registry.add_collector(self._publish_metrics)
         self.tickets: list[QueryHandle] = []
         self._live: dict[str, QueryHandle] = {}       # uq_id -> handle
         self._inflight_keys: dict[CacheKey, str] = {}  # key -> leading uq_id
@@ -186,6 +205,10 @@ class QService:
                              service=self)
         self.tickets.append(handle)
         self.telemetry.record_arrival(at)
+        tr = self.tracer
+        if tr.enabled:
+            tr.start_query(handle.kq_id, at,
+                           keywords=" ".join(handle.keywords), k=handle.k)
         self.step(at)
 
         if self._serve_fast(handle, at, check_cache=check_cache):
@@ -195,10 +218,17 @@ class QService:
             in_flight=len(self._live),
             state_tuples=self.engine.total_state_size(),
         )
+        if tr.enabled:
+            tr.event(handle.kq_id, "admission", at, action=decision.action,
+                     **({"reason": decision.reason}
+                        if decision.reason else {}))
         if decision.action == "reject":
             handle.status = QueryStatus.REJECTED
             handle.reason = decision.reason
             self.telemetry.record_rejection()
+            if tr.enabled:
+                tr.finish_query(handle.kq_id, at, "rejected",
+                                reason=decision.reason)
             return handle
         if decision.action == "defer":
             handle.status = QueryStatus.DEFERRED
@@ -220,9 +250,13 @@ class QService:
         inflate the cache's user-facing miss count; a front tier that
         already looked the key up passes ``check_cache=False``.
         """
+        tr = self.tracer
         key = normalize_key(handle.keywords, handle.k)
         cached = self.cache.get(key, now=at, record=record) \
             if check_cache else None
+        if tr.enabled and check_cache and record:
+            tr.event(handle.kq_id, "cache_lookup", at,
+                     result="hit" if cached is not None else "miss")
         if cached is not None:
             if not record:
                 # The serve is real even though the poll was silent;
@@ -236,6 +270,10 @@ class QService:
             self.telemetry.record_cache_hit()
             self.telemetry.record_completion(
                 at, latency, ttfa=latency if cached else None)
+            if tr.enabled:
+                tr.event(handle.kq_id, "harvest", at,
+                         answers=len(handle.answers), source="cache")
+                tr.finish_query(handle.kq_id, at, "done", via="cache")
             return True
         if self.service_config.coalesce and key in self._inflight_keys:
             leader_uq = self._inflight_keys[key]
@@ -244,6 +282,9 @@ class QService:
             handle.uq_id = leader_uq
             self._followers.setdefault(key, []).append(handle)
             self.telemetry.record_coalesced()
+            if tr.enabled:
+                tr.event(handle.kq_id, "coalesce_attach", at,
+                         leader=leader_uq)
             self._watch(handle)
             # The shared execution must now outlive its longest rider.
             self.engine.set_deadline(
@@ -266,6 +307,10 @@ class QService:
         if not uq.cqs:
             self._finish_empty(handle, at, "no candidate networks")
             return
+        if self.tracer.enabled:
+            # The engine attributes batch-window / optimize / execution
+            # spans to this execution's owning query through the alias.
+            self.tracer.alias(uq.uq_id, handle.kq_id)
         self.engine.submit_user_query(uq, deadline=handle.deadline)
         handle.status = QueryStatus.IN_FLIGHT
         handle.via = "engine"
@@ -285,6 +330,11 @@ class QService:
         handle.reason = reason
         self.telemetry.record_no_results()
         self.telemetry.record_completion(at, 0.0)
+        if self.tracer.enabled:
+            self.tracer.event(handle.kq_id, "harvest", at,
+                              answers=0, source="empty")
+            self.tracer.finish_query(handle.kq_id, at, "done",
+                                     via="empty", reason=reason)
 
     def _watch(self, handle: QueryHandle) -> None:
         if handle.deadline is not None:
@@ -355,6 +405,10 @@ class QService:
                     handle.reason = "deferred past drain; state budget " \
                                     "never freed"
                     self.telemetry.record_rejection()
+                    if self.tracer.enabled:
+                        self.tracer.finish_query(
+                            handle.kq_id, self._now, "rejected",
+                            reason=handle.reason)
         return self.report()
 
     def report(self) -> ServiceReport:
@@ -490,6 +544,13 @@ class QService:
                 if not followers:
                     self._followers.pop(key, None)
                 self._live[uq_id] = promoted
+                if self.tracer.enabled:
+                    # Execution spans attribute to the new leader from
+                    # here on: re-point the uq alias before finishing
+                    # the departing handle's trace.
+                    self.tracer.event(promoted.kq_id, "coalesce_promote",
+                                      at, execution=uq_id)
+                    self.tracer.alias(uq_id, promoted.kq_id)
                 self._finish_terminated(handle, how, at, partial, first)
                 self.engine.set_deadline(
                     uq_id, self._effective_deadline(key, uq_id))
@@ -573,6 +634,14 @@ class QService:
             self.telemetry.record_expiry(at, ttfa)
         else:
             self.telemetry.record_cancellation(at, ttfa)
+        tr = self.tracer
+        if tr.enabled:
+            if answers and first_emitted is not None:
+                tr.event(handle.kq_id, "first_emission",
+                         max(first_emitted, handle.arrival),
+                         answers_so_far=len(answers))
+            tr.finish_query(handle.kq_id, at, how,
+                            reason=handle.reason, answers=len(answers))
 
     def _harvest(self) -> None:
         """Resolve handles whose user query completed or was retired,
@@ -619,6 +688,16 @@ class QService:
             self.telemetry.record_completion(
                 completed_at, max(completed_at - handle.arrival, 0.0),
                 ttfa=self._ttfa_of(handle, answers, rm.first_emitted_at))
+            tr = self.tracer
+            if tr.enabled:
+                if answers and rm.first_emitted_at is not None:
+                    tr.event(handle.kq_id, "first_emission",
+                             max(rm.first_emitted_at, handle.arrival),
+                             answers_so_far=1)
+                tr.event(handle.kq_id, "harvest", completed_at,
+                         answers=len(answers), source="engine")
+                tr.finish_query(handle.kq_id, completed_at, "done",
+                                via=handle.via or "engine")
             key = normalize_key(handle.keywords, handle.k)
             self.cache.put(key, answers, now=completed_at)
             if self._inflight_keys.get(key) == uq_id:
@@ -631,6 +710,15 @@ class QService:
                     completed_at,
                     max(completed_at - follower.arrival, 0.0),
                     ttfa=self._ttfa_of(follower, answers, rm.first_emitted_at))
+                if tr.enabled:
+                    if answers and rm.first_emitted_at is not None:
+                        tr.event(follower.kq_id, "first_emission",
+                                 max(rm.first_emitted_at, follower.arrival),
+                                 answers_so_far=1)
+                    tr.event(follower.kq_id, "harvest", completed_at,
+                             answers=len(answers), source="coalesced")
+                    tr.finish_query(follower.kq_id, completed_at, "done",
+                                    via="coalesced")
 
     def _sweep_deadlines(self) -> None:
         """Expire watched handles whose deadline has passed.  The
@@ -698,5 +786,118 @@ class QService:
                     state_tuples=self.engine.total_state_size()):
                 still.append((kq, handle, uq))
                 continue
+            if self.tracer.enabled:
+                self.tracer.event(handle.kq_id, "admission", at,
+                                  action="accept", retry=True)
             self._start(kq, handle, at, uq=uq)
         self._deferred = still
+
+    # -- observability ---------------------------------------------------------
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """This service's registry with every collector refreshed --
+        the exporters' entry point."""
+        self.registry.collect()
+        return self.registry
+
+    def trace_of(self, handle: QueryHandle) -> QueryTrace | None:
+        """The handle's span tree (``None`` when tracing is off or the
+        query was served before tracing was enabled)."""
+        return self.tracer.trace(handle.kq_id)
+
+    def _publish_metrics(self) -> None:
+        """Collector: republish the owned components' plain counters as
+        registry instruments.  Runs only at snapshot/export time, so
+        the hot paths keep their untyped attribute increments; every
+        publish is *absolute* (``set``), making the collector
+        idempotent no matter how often a snapshot is taken.
+        """
+        r = self.registry
+        adm = self.admission.snapshot()
+        r.counter("repro_admission_accepted_total",
+                  "queries accepted on first decision").set(adm["accepted"])
+        r.counter("repro_admission_rejected_total",
+                  "queries shed on first decision").set(adm["rejected"])
+        r.counter("repro_admission_deferred_total",
+                  "queries parked on first decision").set(adm["deferred"])
+        batcher = self.engine.batcher
+        r.gauge("repro_batcher_pending_queries",
+                "user queries collecting in the batch window"
+                ).set(batcher.pending_count)
+        r.counter("repro_batcher_batches_closed_total",
+                  "batches handed to the optimizer"
+                  ).set(batcher.batches_closed)
+        if self._owns_cache:
+            cs = self.cache.stats
+            r.counter("repro_answer_cache_hits_total",
+                      "answer-cache lookups served").set(cs.hits)
+            r.counter("repro_answer_cache_misses_total",
+                      "answer-cache lookups missed").set(cs.misses)
+            r.counter("repro_answer_cache_insertions_total",
+                      "complete result sets admitted").set(cs.insertions)
+            r.counter("repro_answer_cache_evictions_total",
+                      "entries evicted under capacity pressure"
+                      ).set(cs.evictions)
+            r.counter("repro_answer_cache_expirations_total",
+                      "entries dropped past their TTL").set(cs.expirations)
+            r.counter("repro_answer_cache_overwrites_total",
+                      "entries replaced by a fresher completion"
+                      ).set(cs.overwrites)
+            r.gauge("repro_answer_cache_entries",
+                    "resident answer-cache entries").set(len(self.cache))
+        if self._owns_repository:
+            stats = self.engine.repository.stats
+            layers = ("expansion", "template", "candidate", "plan",
+                      "fragment")
+            hits = r.counter("repro_plan_repository_hits_total",
+                             "plan-repository lookups served, per layer")
+            misses = r.counter("repro_plan_repository_misses_total",
+                               "plan-repository lookups missed, per layer")
+            for layer in layers:
+                hits.set(getattr(stats, f"{layer}_hits"), layer=layer)
+                misses.set(getattr(stats, f"{layer}_misses"), layer=layer)
+        metrics = self.engine.report().metrics
+        mode = self.engine.config.mode.value
+        r.counter("repro_engine_stream_tuples_read_total",
+                  "tuples consumed from streaming sources"
+                  ).set(metrics.stream_tuples_read, mode=mode)
+        r.counter("repro_engine_probes_total",
+                  "remote random-access probes performed"
+                  ).set(metrics.probes_performed, mode=mode)
+        r.counter("repro_engine_probe_cache_hits_total",
+                  "probes served from the probe cache"
+                  ).set(metrics.probe_cache_hits, mode=mode)
+        r.counter("repro_engine_join_probes_total",
+                  "in-memory join probes performed"
+                  ).set(metrics.join_probes, mode=mode)
+        r.counter("repro_engine_tuples_inserted_total",
+                  "tuples inserted into operator state"
+                  ).set(metrics.tuples_inserted, mode=mode)
+        r.counter("repro_engine_splits_routed_total",
+                  "tuples routed through split operators"
+                  ).set(metrics.splits_routed, mode=mode)
+        r.counter("repro_engine_recovery_queries_total",
+                  "recovery queries issued after state eviction"
+                  ).set(metrics.recovery_queries, mode=mode)
+        r.counter("repro_engine_stream_read_seconds_total",
+                  "virtual seconds spent reading streams"
+                  ).set(metrics.stream_read_time, mode=mode)
+        r.counter("repro_engine_random_access_seconds_total",
+                  "virtual seconds spent on remote probes"
+                  ).set(metrics.random_access_time, mode=mode)
+        r.counter("repro_engine_join_seconds_total",
+                  "virtual seconds spent joining in memory"
+                  ).set(metrics.join_time, mode=mode)
+        reads = r.counter("repro_engine_source_reads_total",
+                          "stream reads per data source")
+        for source, count in sorted(metrics.per_source_reads.items()):
+            reads.set(count, source=source)
+        r.counter("repro_rankmerge_answers_emitted_total",
+                  "ranked answers emitted across all rank-merges"
+                  ).set(metrics.tuples_output, mode=mode)
+        r.counter("repro_state_evictions_total",
+                  "operator-state tuples evicted by the state manager"
+                  ).set(metrics.evictions, mode=mode)
+        r.gauge("repro_state_tuples",
+                "tuples currently stored across all plan graphs"
+                ).set(self.engine.total_state_size(), mode=mode)

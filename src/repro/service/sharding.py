@@ -52,6 +52,8 @@ from repro.data.database import Federation
 from repro.data.inverted import InvertedIndex
 from repro.keyword.candidates import CandidateNetworkGenerator
 from repro.keyword.queries import KeywordQuery, RankedAnswer
+from repro.obs.instruments import MetricsRegistry
+from repro.obs.trace import NO_TRACER, QueryTrace
 from repro.optimizer.repository import PlanRepository
 from repro.service.cache import ResultCache, normalize_key
 from repro.service.handle import QueryHandle, QueryStatus, run_stream
@@ -99,12 +101,24 @@ class ShardedQService:
                  service: ServiceConfig | None = None,
                  spill_over: bool = True,
                  generator: CandidateNetworkGenerator | None = None,
-                 index: InvertedIndex | None = None) -> None:
+                 index: InvertedIndex | None = None,
+                 registry: MetricsRegistry | None = None,
+                 tracer=None) -> None:
         if n_shards <= 0:
             raise ValueError(f"n_shards must be positive, got {n_shards}")
         self.n_shards = n_shards
         self.service_config = service or ServiceConfig()
         self.spill_over = spill_over
+        #: One tracer for the whole fleet: the front door opens each
+        #: query's trace and the owning worker joins it, so a routed
+        #: query gets a single span tree spanning both tiers.
+        self.tracer = tracer if tracer is not None else NO_TRACER
+        #: The front door's own metric namespace (router, shared cache,
+        #: shared plan repository -- the tiers only it owns); worker
+        #: registries are merged in, shard-labelled, by
+        #: :meth:`metrics_registry`.
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
         self.index = index if index is not None else InvertedIndex(federation)
         # One plan repository for the whole fleet: plans derived from
         # the same federation are shard-independent, so without a
@@ -126,12 +140,14 @@ class ShardedQService:
         self.workers = [
             QService(federation, config, service=self.service_config,
                      generator=self.generator, index=self.index,
-                     cache=self.cache, repository=self.repository)
+                     cache=self.cache, repository=self.repository,
+                     tracer=self.tracer)
             for _ in range(n_shards)
         ]
         #: Front-door telemetry: arrivals served by the shared cache
         #: tier never reach a shard, so their latencies live here.
-        self.telemetry = Telemetry()
+        self.telemetry = Telemetry(self.registry)
+        self.registry.add_collector(self._publish_metrics)
         self.routing_stats = RoutingStats(policy=self.router.name,
                                           routed=[0] * n_shards)
         self.tickets: list[QueryHandle] = []
@@ -155,10 +171,17 @@ class ShardedQService:
         the owning shard, transparently."""
         at = kq.arrival if arrival is None else arrival
         at = max(at, self._now)
+        tr = self.tracer
+        if tr.enabled:
+            tr.start_query(kq.kq_id, at,
+                           keywords=" ".join(kq.keywords), k=kq.k)
         self.step(at)
 
         key = normalize_key(kq.keywords, kq.k)
         cached = self.cache.get(key, now=at)
+        if tr.enabled:
+            tr.event(kq.kq_id, "cache_lookup", at, tier="front",
+                     result="hit" if cached is not None else "miss")
         if cached is not None:
             self.routing_stats.front_cache_hits += 1
             self.telemetry.record_cache_hit()
@@ -191,6 +214,11 @@ class ShardedQService:
             shard = self.router.route(kq, uq, self.n_shards)
             shard = self._spill(shard)
         self.routing_stats.routed[shard] += 1
+        if tr.enabled:
+            tr.event(kq.kq_id, "route", at, shard=shard,
+                     policy=self.router.name,
+                     **({"coalesce_pin": True}
+                        if leader_shard is not None else {}))
         handle = self.workers[shard].submit(kq, arrival=at,
                                             deadline=deadline, uq=uq,
                                             check_cache=False)
@@ -243,6 +271,12 @@ class ShardedQService:
         self.telemetry.record_arrival(at)
         self.telemetry.record_completion(
             at, 0.0, ttfa=0.0 if answers else None)
+        if self.tracer.enabled:
+            self.tracer.event(kq.kq_id, "harvest", at,
+                              answers=len(answers), source=via)
+            self.tracer.finish_query(
+                kq.kq_id, at, "done", via=via,
+                **({"reason": reason} if reason else {}))
         return handle
 
     def _spill(self, shard: int) -> int:
@@ -344,3 +378,68 @@ class ShardedQService:
         with a client-abandonment schedule; see
         :func:`repro.service.handle.run_stream`)."""
         return run_stream(self, load, cancellations)
+
+    # -- observability ---------------------------------------------------------
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """The fleet-wide registry: the front door's own instruments
+        (router, shared cache, shared plan repository, front-door
+        telemetry) unlabelled, every worker's instruments stamped with
+        its ``shard`` label.  Because each component is published by
+        exactly one owner, the merge never double counts."""
+        return MetricsRegistry.merged(
+            [(self.registry, {})]
+            + [(worker.registry, {"shard": str(i)})
+               for i, worker in enumerate(self.workers)])
+
+    def trace_of(self, handle: QueryHandle) -> QueryTrace | None:
+        """The handle's span tree -- front-door and worker spans share
+        one trace (``None`` when tracing is off)."""
+        return self.tracer.trace(handle.kq_id)
+
+    def _publish_metrics(self) -> None:
+        """Collector for the tiers only the front door owns: the
+        shared answer cache, the shared plan repository, and the
+        router.  Workers are constructed with both tiers handed in, so
+        they never publish them -- one owner per component."""
+        r = self.registry
+        cs = self.cache.stats
+        r.counter("repro_answer_cache_hits_total",
+                  "answer-cache lookups served").set(cs.hits)
+        r.counter("repro_answer_cache_misses_total",
+                  "answer-cache lookups missed").set(cs.misses)
+        r.counter("repro_answer_cache_insertions_total",
+                  "complete result sets admitted").set(cs.insertions)
+        r.counter("repro_answer_cache_evictions_total",
+                  "entries evicted under capacity pressure"
+                  ).set(cs.evictions)
+        r.counter("repro_answer_cache_expirations_total",
+                  "entries dropped past their TTL").set(cs.expirations)
+        r.counter("repro_answer_cache_overwrites_total",
+                  "entries replaced by a fresher completion"
+                  ).set(cs.overwrites)
+        r.gauge("repro_answer_cache_entries",
+                "resident answer-cache entries").set(len(self.cache))
+        stats = self.repository.stats
+        hits = r.counter("repro_plan_repository_hits_total",
+                         "plan-repository lookups served, per layer")
+        misses = r.counter("repro_plan_repository_misses_total",
+                           "plan-repository lookups missed, per layer")
+        for layer in ("expansion", "template", "candidate", "plan",
+                      "fragment"):
+            hits.set(getattr(stats, f"{layer}_hits"), layer=layer)
+            misses.set(getattr(stats, f"{layer}_misses"), layer=layer)
+        rs = self.routing_stats
+        routed = r.counter("repro_router_routed_total",
+                           "queries routed, per shard")
+        for i, n in enumerate(rs.routed):
+            routed.set(n, shard=str(i))
+        r.counter("repro_router_spillovers_total",
+                  "queries spilled past a saturated shard"
+                  ).set(rs.spillovers)
+        r.counter("repro_router_front_cache_hits_total",
+                  "arrivals served at the front door's shared cache"
+                  ).set(rs.front_cache_hits)
+        r.counter("repro_router_affinity_overrides_total",
+                  "queries pinned to an in-flight twin's shard"
+                  ).set(rs.affinity_overrides)

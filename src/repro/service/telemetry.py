@@ -19,7 +19,8 @@ from __future__ import annotations
 
 import math
 from collections.abc import Iterable, Sequence
-from dataclasses import dataclass, field
+
+from repro.obs.instruments import MetricsRegistry
 
 
 def percentile(samples: Sequence[float], pct: float) -> float | None:
@@ -47,7 +48,30 @@ def percentile(samples: Sequence[float], pct: float) -> float | None:
     return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
 
-@dataclass
+class _CounterField:
+    """Expose one registry-backed counter as a plain numeric attribute.
+
+    Reads return the sample value (as ``int`` unless ``as_float``);
+    writes set the counter absolutely, so the pre-registry idioms --
+    ``out.submitted += part.submitted`` in :meth:`Telemetry.merged`,
+    the absolute overwrite in :meth:`Telemetry.sync_optimizer` -- keep
+    working unchanged on top of the instruments.
+    """
+
+    def __init__(self, instrument_attr: str, as_float: bool = False) -> None:
+        self._attr = instrument_attr
+        self._as_float = as_float
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        value = getattr(obj, self._attr).value()
+        return value if self._as_float else int(value)
+
+    def __set__(self, obj, value) -> None:
+        getattr(obj, self._attr).set(float(value))
+
+
 class Telemetry:
     """Aggregates one service run's operational numbers.
 
@@ -65,30 +89,105 @@ class Telemetry:
     query that ever received an answer (completed queries always; a
     cancelled/expired query contributes iff something had streamed out
     before it was retired) -- the streaming API's headline metric.
+
+    Every counter attribute is backed by a ``repro_service_*`` /
+    ``repro_optimizer_*`` instrument in a
+    :class:`~repro.obs.instruments.MetricsRegistry` (the service's,
+    when one is passed; a private one otherwise), so the rendered
+    summary and the exported metrics can never drift apart.  The
+    latency/TTFA sample lists stay plain lists -- percentile math wants
+    raw samples -- and are republished into the registry's histograms
+    by a collector at snapshot time, never on the hot path.
     """
 
-    latencies: list[float] = field(default_factory=list)
-    ttfas: list[float] = field(default_factory=list)
-    submitted: int = 0
-    completed: int = 0
-    served_from_cache: int = 0
-    coalesced: int = 0
-    rejected: int = 0
-    deferred: int = 0
-    cancelled: int = 0
-    expired: int = 0
-    no_results: int = 0
-    first_arrival: float | None = None
-    last_event: float = 0.0
+    #: Every scalar counter, in one canonical tuple: :meth:`merged`
+    #: iterates this, so a counter added here can never be silently
+    #: dropped from the fleet merge again.
+    COUNTER_FIELDS = (
+        "submitted", "completed", "served_from_cache", "coalesced",
+        "rejected", "deferred", "cancelled", "expired", "no_results",
+        "optimizer_wall", "optimizer_invocations", "plans_explored",
+        "plan_cache_hits", "plan_cache_misses", "plan_delta_grafts",
+    )
+
+    submitted = _CounterField("_submitted")
+    completed = _CounterField("_completed")
+    served_from_cache = _CounterField("_served_from_cache")
+    coalesced = _CounterField("_coalesced")
+    rejected = _CounterField("_rejected")
+    deferred = _CounterField("_deferred")
+    cancelled = _CounterField("_cancelled")
+    expired = _CounterField("_expired")
+    no_results = _CounterField("_no_results")
     #: Optimizer visibility, synced from the engine's per-invocation
     #: records (absolute totals, overwritten on every sync -- so the
     #: sync is idempotent and a merged fleet view simply sums shards).
-    optimizer_wall: float = 0.0
-    optimizer_invocations: int = 0
-    plans_explored: int = 0
-    plan_cache_hits: int = 0
-    plan_cache_misses: int = 0
-    plan_delta_grafts: int = 0
+    optimizer_wall = _CounterField("_optimizer_wall", as_float=True)
+    optimizer_invocations = _CounterField("_optimizer_invocations")
+    plans_explored = _CounterField("_plans_explored")
+    plan_cache_hits = _CounterField("_plan_cache_hits")
+    plan_cache_misses = _CounterField("_plan_cache_misses")
+    plan_delta_grafts = _CounterField("_plan_delta_grafts")
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        r = self.registry
+        self._submitted = r.counter(
+            "repro_service_submitted_total", "queries admitted")
+        self._completed = r.counter(
+            "repro_service_completed_total", "queries fully served")
+        self._served_from_cache = r.counter(
+            "repro_service_cache_served_total",
+            "queries answered from the result cache")
+        self._coalesced = r.counter(
+            "repro_service_coalesced_total",
+            "queries attached to an identical in-flight execution")
+        self._rejected = r.counter(
+            "repro_service_rejected_total", "queries shed by admission")
+        self._deferred = r.counter(
+            "repro_service_deferred_total", "queries parked for retry")
+        self._cancelled = r.counter(
+            "repro_service_cancelled_total", "queries abandoned by clients")
+        self._expired = r.counter(
+            "repro_service_expired_total", "queries retired at deadline")
+        self._no_results = r.counter(
+            "repro_service_no_results_total",
+            "queries no candidate network could answer")
+        self._optimizer_wall = r.counter(
+            "repro_optimizer_wall_seconds_total",
+            "measured optimizer wall time")
+        self._optimizer_invocations = r.counter(
+            "repro_optimizer_invocations_total", "optimizer invocations")
+        self._plans_explored = r.counter(
+            "repro_optimizer_plans_explored_total",
+            "plans explored across invocations")
+        self._plan_cache_hits = r.counter(
+            "repro_optimizer_plan_cache_hits_total",
+            "plan-repository lookups served from cache")
+        self._plan_cache_misses = r.counter(
+            "repro_optimizer_plan_cache_misses_total",
+            "plan-repository lookups that missed")
+        self._plan_delta_grafts = r.counter(
+            "repro_optimizer_delta_grafts_total",
+            "factorizations grafted from retained fragments")
+        self._latency_hist = r.histogram(
+            "repro_service_latency_virtual_seconds",
+            "arrival-to-answer latency, virtual seconds")
+        self._ttfa_hist = r.histogram(
+            "repro_service_ttfa_virtual_seconds",
+            "arrival-to-first-answer, virtual seconds")
+        self.latencies: list[float] = []
+        self.ttfas: list[float] = []
+        self.first_arrival: float | None = None
+        self.last_event: float = 0.0
+        r.add_collector(self._publish_samples)
+
+    def _publish_samples(self) -> None:
+        """Derive the histograms from the raw sample lists (collector:
+        runs at snapshot/export time, never per query)."""
+        self._latency_hist.set_samples(self.latencies)
+        self._ttfa_hist.set_samples(self.ttfas)
 
     # -- recording ----------------------------------------------------------
 
@@ -149,7 +248,7 @@ class Telemetry:
 
     def sync_optimizer(self, records: Iterable) -> None:
         """Refresh the optimizer totals from the engine's cumulative
-        :class:`~repro.stats.metrics.OptimizerRecord` list.  Absolute
+        :class:`~repro.obs.records.OptimizerRecord` list.  Absolute
         overwrite, not accumulation: the record list itself is
         cumulative, so re-syncing at every report stays correct."""
         records = list(records)
@@ -174,21 +273,8 @@ class Telemetry:
         for part in parts:
             out.latencies.extend(part.latencies)
             out.ttfas.extend(part.ttfas)
-            out.submitted += part.submitted
-            out.completed += part.completed
-            out.served_from_cache += part.served_from_cache
-            out.coalesced += part.coalesced
-            out.rejected += part.rejected
-            out.deferred += part.deferred
-            out.cancelled += part.cancelled
-            out.expired += part.expired
-            out.no_results += part.no_results
-            out.optimizer_wall += part.optimizer_wall
-            out.optimizer_invocations += part.optimizer_invocations
-            out.plans_explored += part.plans_explored
-            out.plan_cache_hits += part.plan_cache_hits
-            out.plan_cache_misses += part.plan_cache_misses
-            out.plan_delta_grafts += part.plan_delta_grafts
+            for name in cls.COUNTER_FIELDS:
+                setattr(out, name, getattr(out, name) + getattr(part, name))
             if part.first_arrival is not None and (
                     out.first_arrival is None
                     or part.first_arrival < out.first_arrival):

@@ -1,5 +1,5 @@
 """Metrics collection for the experiment harness."""
 
-from repro.stats.metrics import Metrics, OptimizerRecord, UQRecord
+from repro.obs.records import Metrics, OptimizerRecord, UQRecord
 
 __all__ = ["Metrics", "OptimizerRecord", "UQRecord"]
