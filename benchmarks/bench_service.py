@@ -297,6 +297,134 @@ def test_sharded_routing(benchmark, save_result, bench_shards, bench_routing):
         assert work["cluster"] <= work["hash"]
 
 
+HTTP_LOAD = replace(LOAD, n_queries=40, k=10, rate_qps=8.0)
+HTTP_CLIENTS = 4
+
+
+def run_http_bench():
+    """Closed-loop load over the HTTP/SSE front end on a wall clock.
+
+    Unlike the open-loop benches above (arrivals never wait), this is
+    the serving posture's complement: ``HTTP_CLIENTS`` client threads
+    each submit a query, stream its SSE answers to the ``end`` event,
+    and only then submit their next -- so offered load tracks service
+    capacity, and the measured times are *real* seconds across the
+    wire, not virtual ones.
+    """
+    import queue
+    import threading
+    import time
+
+    from repro.common.clock import WallClock
+    from repro.service import HttpQueryClient, HttpServerThread
+
+    federation = _federation()
+    index = InvertedIndex(federation)
+    load = generate_load(federation, HTTP_LOAD, index=index)
+
+    config = ExecutionConfig(mode=SharingMode.ATC_FULL, k=HTTP_LOAD.k,
+                             batch_window=1.0, optimizer_time_scale=0.0,
+                             seed=11)
+    service = QService(federation, config,
+                       ServiceConfig(max_in_flight=256), index=index,
+                       clock=WallClock())
+
+    pending: "queue.Queue" = queue.Queue()
+    for kq in load:
+        pending.put(kq)
+    results = []
+    results_lock = threading.Lock()
+
+    def client_loop(port):
+        client = HttpQueryClient("127.0.0.1", port)
+        while True:
+            try:
+                kq = pending.get_nowait()
+            except queue.Empty:
+                return
+            submitted = time.perf_counter()
+            client.submit(kq.keywords, k=kq.k, query_id=kq.kq_id)
+            first_answer = None
+            answers = []
+            end = None
+            for event, payload in client.events(kq.kq_id):
+                if event == "answer":
+                    if first_answer is None:
+                        first_answer = time.perf_counter() - submitted
+                    answers.append(payload)
+                elif event == "end":
+                    end = payload
+            with results_lock:
+                results.append({
+                    "kq_id": kq.kq_id,
+                    "ttfa": first_answer,
+                    "latency": time.perf_counter() - submitted,
+                    "answers": answers,
+                    "end": end,
+                })
+
+    started = time.perf_counter()
+    with HttpServerThread(service, tick=0.02) as srv:
+        threads = [threading.Thread(target=client_loop, args=(srv.port,))
+                   for _ in range(HTTP_CLIENTS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    wall = time.perf_counter() - started
+
+    # The oracle: the identical queries on a virtual clock, in process.
+    oracle = QService(federation, config,
+                      ServiceConfig(max_in_flight=256), index=index)
+    oracle_handles = []
+    for kq in load:
+        handle = oracle.submit(kq, arrival=kq.arrival)
+        list(handle.results())
+        oracle_handles.append(handle)
+    return load, results, wall, oracle_handles
+
+
+def test_service_http_closed_loop(benchmark, save_result):
+    from repro.service import answers_digest, handles_digest
+
+    load, results, wall, oracle_handles = benchmark.pedantic(
+        run_http_bench, rounds=1, iterations=1)
+
+    assert len(results) == HTTP_LOAD.n_queries
+    for r in results:
+        assert r["end"] is not None, r["kq_id"]
+        assert r["end"]["disposition"] == "done", r["kq_id"]
+        assert r["ttfa"] is not None, r["kq_id"]
+    # The differential digest gate, over real HTTP on a real clock:
+    # same answers as the virtual-clock in-process oracle, byte for
+    # byte in scheduling-independent form.
+    assert all(h.done for h in oracle_handles)
+    assert answers_digest({r["kq_id"]: r["answers"] for r in results}) \
+        == handles_digest(oracle_handles)
+
+    from repro.service import percentile
+    ttfas = [r["ttfa"] for r in results]
+    lats = [r["latency"] for r in results]
+    throughput = len(results) / wall
+    table = SeriesTable(
+        title=f"Closed-loop HTTP/SSE serving, wall clock "
+              f"({HTTP_LOAD.n_queries} queries, {HTTP_CLIENTS} client "
+              f"threads)",
+        x_label="measure",
+        columns=["throughput q/s", "ttfa p50 s", "ttfa p95 s",
+                 "latency p50 s", "latency p95 s"],
+    )
+    table.add_row("wall-clock", throughput,
+                  percentile(ttfas, 50.0), percentile(ttfas, 95.0),
+                  percentile(lats, 50.0), percentile(lats, 95.0))
+    save_result("service_http", table.render())
+
+    assert throughput > 0.0
+    # Streaming pays over the wire too: the first answer of each query
+    # arrives no later than its full top-k.
+    assert percentile(ttfas, 50.0) <= percentile(lats, 50.0)
+
+
 def test_service_trace_overhead(save_result, trace_overhead_enabled):
     """Opt-in (``--trace-overhead``): the serving stack's zero-
     overhead-when-off contract on the service-bench federation --

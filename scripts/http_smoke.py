@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""End-to-end smoke of ``repro serve --http`` as a real subprocess.
+
+Usage: ``python scripts/http_smoke.py [--port N] [--trace-dir DIR]``
+
+Launches the CLI HTTP server exactly as an operator would, then drives
+it over the wire with the stdlib client:
+
+1. wait for ``/healthz`` to answer (wall clock reported);
+2. submit several queries and stream each SSE feed, validating the
+   event shape (``status``, rank-ordered ``answer`` events, ``end``
+   with a ``done`` disposition and the right answer count);
+3. submit one more query and cancel it, asserting the ``cancelled``
+   disposition propagates to its stream and snapshot;
+4. check ``/metrics`` renders Prometheus text;
+5. ``POST /admin/shutdown`` and require a clean exit -- then, when
+   ``--trace-dir`` is given, require the server wrote a validatable
+   trace artifact (CI uploads it).
+
+Exits nonzero on the first violation.  CI runs this as the
+``http-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import subprocess
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "src"))
+
+from repro.service import HttpQueryClient  # noqa: E402
+
+QUERIES = [
+    ["protein", "plasma membrane"],
+    ["membrane", "gene"],
+    ["protein", "gene"],
+]
+K = 6
+
+
+def fail(msg: str) -> None:
+    print(f"http_smoke: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def wait_healthy(client: HttpQueryClient, proc: subprocess.Popen,
+                 timeout: float = 30.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            fail(f"server exited early with code {proc.returncode}")
+        try:
+            health = client.healthz()
+            if health.get("status") == "ok":
+                return health
+        except OSError:
+            pass
+        time.sleep(0.2)
+    fail(f"server not healthy within {timeout}s")
+    raise AssertionError  # unreachable
+
+
+def check_stream(client: HttpQueryClient, qid: str,
+                 keywords: list[str]) -> None:
+    out = client.submit(keywords, k=K, query_id=qid)
+    if out["query_id"] != qid:
+        fail(f"{qid}: submit echoed {out['query_id']!r}")
+    events = list(client.events(qid))
+    names = [name for name, _payload in events]
+    answers = [payload for name, payload in events if name == "answer"]
+    if not names or names[0] != "status":
+        fail(f"{qid}: stream must open with a status event, got {names[:3]}")
+    if names[-1] != "end":
+        fail(f"{qid}: stream must close with an end event, got {names[-3:]}")
+    if names != ["status"] + ["answer"] * len(answers) + ["end"]:
+        fail(f"{qid}: unexpected event sequence {names}")
+    if [a["rank"] for a in answers] != list(range(len(answers))):
+        fail(f"{qid}: answer ranks not sequential")
+    end = events[-1][1]
+    if end["disposition"] != "done":
+        fail(f"{qid}: disposition {end['disposition']!r}, wanted 'done'")
+    if end["answers"] != len(answers):
+        fail(f"{qid}: end counted {end['answers']} answers, "
+             f"streamed {len(answers)}")
+    snapshot = client.status(qid)
+    if snapshot["status"] != "done":
+        fail(f"{qid}: terminal snapshot says {snapshot['status']!r}")
+    print(f"http_smoke: {qid}: {len(answers)} answers, done")
+
+
+def check_cancel(client: HttpQueryClient, qid: str) -> None:
+    # A keyword combination no earlier query used: a repeat would be
+    # served from the answer cache at submit and leave nothing to
+    # cancel.  A fresh query's batch window has not closed yet (nothing
+    # pumps it), so the cancel deterministically beats completion.
+    client.submit(["plasma membrane", "gene"], k=K, query_id=qid)
+    out = client.cancel(qid)
+    if not out["cancelled"] or out["status"] != "cancelled":
+        fail(f"{qid}: cancel reported {out}")
+    _answers, end = client.stream(qid)
+    if end is None or end["disposition"] != "cancelled":
+        fail(f"{qid}: stream after cancel ended with {end}")
+    print(f"http_smoke: {qid}: cancelled cleanly")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--port", type=int, default=18028)
+    parser.add_argument("--trace-dir", default=None)
+    args = parser.parse_args()
+
+    cmd = [sys.executable, "-m", "repro", "serve", "--http",
+           "--port", str(args.port)]
+    if args.trace_dir:
+        cmd += ["--trace-dir", args.trace_dir]
+    proc = subprocess.Popen(cmd)
+    client = HttpQueryClient("127.0.0.1", args.port, timeout=30.0)
+    try:
+        health = wait_healthy(client, proc)
+        print(f"http_smoke: healthy on port {args.port} "
+              f"({health['clock']}, now={health['now']:.3f})")
+        for i, keywords in enumerate(QUERIES, start=1):
+            check_stream(client, f"smoke-{i}", keywords)
+        check_cancel(client, "smoke-cancel")
+        metrics = client.metrics()
+        if "# TYPE" not in metrics:
+            fail("/metrics did not render Prometheus text")
+        print(f"http_smoke: metrics: {len(metrics.splitlines())} lines")
+        client.shutdown()
+        if proc.wait(timeout=30.0) != 0:
+            fail(f"server exited with code {proc.returncode}")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    if args.trace_dir:
+        traces = sorted(pathlib.Path(args.trace_dir).glob("*.jsonl"))
+        if not traces:
+            fail(f"no trace artifact written under {args.trace_dir}")
+        from repro.obs.export import validate_trace_lines
+        for path in traces:
+            lines = path.read_text().splitlines()
+            errors = validate_trace_lines(lines)
+            if errors:
+                fail(f"{path}: {errors[0]}")
+            print(f"http_smoke: trace artifact {path}: "
+                  f"OK ({len(lines)} spans)")
+    print("http_smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

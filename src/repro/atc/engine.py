@@ -410,6 +410,19 @@ class QSystemEngine:
         that drain in a loop (the service does, to flush deferred
         queries) request the report once at the end.
         """
+        # Queries still collecting in the batcher may carry deadlines
+        # that fall inside their open collection window.  Force-closing
+        # their batch first would spend optimization and execution work
+        # on queries that, in continuous time, expire before the batch
+        # ever dispatches -- the degenerate case being a deadline equal
+        # to the arrival instant, which must incur zero work.  Replay
+        # continuous time up to the latest such deadline instead:
+        # windows close on schedule and due queries expire at their
+        # exact instants, exactly as a long step() would have it.
+        batched = [d for uq_id, d in self._deadlines.items()
+                   if self.qs.uq_graphs.get(uq_id) is None]
+        if batched:
+            self.step(max(batched))
         for batch in self.batcher.drain():
             self._run_batch(batch)
         while self._deadlines:

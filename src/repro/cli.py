@@ -12,7 +12,16 @@ Commands:
   Poisson/Zipf load and print tail latencies, throughput, and the
   answer-cache hit rate; ``--trace-dir`` / ``--metrics-out`` export
   per-query span trees (JSONL) and the metrics registry (Prometheus
-  text or JSONL);
+  text or JSONL).  With ``--http`` the service listens for real
+  clients instead of replaying a load: ``repro serve --http
+  [--host H] [--port P] [--clock wall|virtual]`` starts the asyncio
+  HTTP/SSE front end (``POST /query``, ``GET /query/<id>/events``
+  streams answers as Server-Sent Events, ``POST /query/<id>/cancel``,
+  ``/healthz``, ``/metrics``; ``POST /admin/shutdown`` stops it and
+  flushes the trace/metrics artifacts).  The wall clock is the
+  ``--http`` default -- deadlines and batch windows run on real time,
+  driven by a ``--tick``-second housekeeping loop; ``--clock
+  virtual`` serves deterministically for differential testing;
 * ``explain <keywords...>`` -- trace one query end to end and print
   its span tree with a per-stage virtual/wall breakdown.
 """
@@ -117,6 +126,26 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="export the metrics registry after the run: "
                             "Prometheus text when FILE ends in .prom/.txt, "
                             "JSONL otherwise")
+    serve.add_argument("--http", action="store_true",
+                       help="serve real clients over HTTP/SSE instead of "
+                            "replaying a generated load (POST /query, "
+                            "GET /query/<id>/events, POST /admin/shutdown "
+                            "to stop)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="HTTP bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8028,
+                       help="HTTP port; 0 picks an ephemeral one "
+                            "(default 8028)")
+    serve.add_argument("--clock", default=None,
+                       choices=("virtual", "wall"),
+                       help="time source: wall (real time; the --http "
+                            "default) or virtual (deterministic; the "
+                            "load-replay default)")
+    serve.add_argument("--tick", type=float, default=0.05,
+                       help="wall-mode housekeeping period in real "
+                            "seconds: batch windows and deadlines are "
+                            "driven this often with no client attached "
+                            "(default 0.05; ignored on the virtual clock)")
 
     explain = sub.add_parser(
         "explain",
@@ -211,6 +240,7 @@ def cmd_workload(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.common.clock import VirtualClock, WallClock
     from repro.data.figure1 import figure1_federation
     from repro.data.gus import GUSConfig, gus_federation
     from repro.service import (
@@ -229,7 +259,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                       domain_factor=0.45, seed=args.seed))
     else:
         federation = figure1_federation()
-    load = generate_load(federation, LoadConfig(
+    load = [] if args.http else generate_load(federation, LoadConfig(
         n_queries=args.queries, rate_qps=args.rate, k=args.k,
         n_templates=args.templates, template_theta=args.theta,
         seed=args.seed,
@@ -252,20 +282,26 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.trace_dir is not None:
         from repro.obs.trace import Tracer
         tracer = Tracer()
+    clock_mode = args.clock or ("wall" if args.http else "virtual")
+    clock = WallClock() if clock_mode == "wall" else VirtualClock()
     if args.shards > 1:
         service = ShardedQService(federation, config, n_shards=args.shards,
                                   routing=args.routing,
-                                  service=service_config, tracer=tracer)
+                                  service=service_config, tracer=tracer,
+                                  clock=clock)
         fleet_note = f", {args.shards} shards via {args.routing}"
     else:
         service = QService(federation, config, service_config,
-                           tracer=tracer)
+                           tracer=tracer, clock=clock)
         fleet_note = ""
-    print(f"serving {len(load)} arrivals at ~{args.rate:g} q/s "
-          f"({args.templates} templates, mode {args.mode}, "
-          f"corpus {args.corpus}{fleet_note})...")
-    report = service.run(load)
-    print(report.render())
+    if args.http:
+        _serve_http(args, service, clock_mode, fleet_note)
+    else:
+        print(f"serving {len(load)} arrivals at ~{args.rate:g} q/s "
+              f"({args.templates} templates, mode {args.mode}, "
+              f"corpus {args.corpus}{fleet_note})...")
+        report = service.run(load)
+        print(report.render())
     if tracer is not None:
         from repro.obs.export import write_trace
         path = write_trace(tracer, args.trace_dir)
@@ -275,6 +311,35 @@ def cmd_serve(args: argparse.Namespace) -> int:
         fmt = write_metrics(service.metrics_registry(), args.metrics_out)
         print(f"metrics   : {fmt} -> {args.metrics_out}")
     return 0
+
+
+def _serve_http(args: argparse.Namespace, service, clock_mode: str,
+                fleet_note: str) -> None:
+    """Run the HTTP/SSE front end until shutdown (POST /admin/shutdown
+    or Ctrl-C); the caller then writes the trace/metrics artifacts."""
+    import asyncio
+
+    from repro.service.http import QueryServiceHTTP
+
+    tick = args.tick if clock_mode == "wall" else None
+
+    async def _run() -> None:
+        server = QueryServiceHTTP(service, host=args.host, port=args.port,
+                                  tick=tick)
+        await server.start()
+        print(f"listening on http://{args.host}:{server.port} "
+              f"(mode {args.mode}, corpus {args.corpus}, "
+              f"{clock_mode} clock{fleet_note})", flush=True)
+        try:
+            await server.wait_closed()
+        finally:
+            await server.aclose()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    print(service.report().render())
 
 
 def cmd_explain(args: argparse.Namespace) -> int:

@@ -1,4 +1,4 @@
-"""Virtual time.
+"""Time, behind one interface.
 
 The paper measures wall-clock latencies that are dominated by simulated
 wide-area delays (Poisson, 2 ms mean per tuple read and per remote
@@ -13,9 +13,43 @@ exactly how the paper's single-threaded-per-graph middleware behaves and
 is what produces the contention effect of Section 7.1.  Separate plan
 graphs (the ATC-CL and ATC-CQ/UQ configurations) own separate clocks and
 therefore proceed in parallel, subject to query arrival times.
+
+The *serving* tier additionally needs real time: an HTTP front end's
+arrival instants come from the operating system, not from a replayed
+trace.  Both clock families implement the :class:`Clock` protocol --
+``now``, ``advance``, ``advance_to`` -- so the service code is written
+once against the protocol and a :class:`WallClock` (backed by
+``time.monotonic``) can stand in for the virtual one.  ``WallClock``
+keeps the same monotonicity contract by maintaining a *floor*: real
+time flows on its own, and ``advance``/``advance_to`` can only push the
+floor forward (never back), so ``now`` is non-decreasing under any
+interleaving of reads and advances -- the property the virtual-clock
+call sites rely on.
 """
 
 from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """The one time contract the serving tier is written against.
+
+    ``now`` is non-decreasing; ``advance`` moves it forward by a
+    non-negative delta and ``advance_to`` moves it forward to an
+    instant (a past instant is a no-op).  :class:`VirtualClock`
+    implements it with an explicit counter, :class:`WallClock` with
+    ``time.monotonic`` plus a floor.
+    """
+
+    @property
+    def now(self) -> float: ...
+
+    def advance(self, seconds: float) -> float: ...
+
+    def advance_to(self, timestamp: float) -> float: ...
 
 
 class VirtualClock:
@@ -56,6 +90,51 @@ class VirtualClock:
         return f"VirtualClock(now={self._now:.6f})"
 
 
+class WallClock:
+    """Real time with the virtual clock's monotonicity contract.
+
+    ``now`` reads ``time.monotonic`` relative to the clock's origin,
+    but never falls below the *floor* that ``advance``/``advance_to``
+    maintain: advancing a wall clock declares "this much time is
+    already spent", exactly as on the virtual clock, and real time
+    catches up on its own.  This keeps every service code path --
+    deadline sweeps, TTL grooming, arrival clamping -- valid on both
+    clock families, and makes ``WallClock`` satisfy the same
+    monotonicity properties ``VirtualClock`` is tested for.
+    """
+
+    __slots__ = ("_origin", "_floor")
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start before zero, got {start}")
+        self._origin = time.monotonic() - float(start)
+        self._floor = float(start)
+
+    @property
+    def now(self) -> float:
+        """Elapsed real seconds since the origin, at least the floor."""
+        return max(time.monotonic() - self._origin, self._floor)
+
+    def advance(self, seconds: float) -> float:
+        """Raise the floor ``seconds`` (>= 0) past the current instant
+        and return the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds} (< 0)")
+        self._floor = self.now + seconds
+        return self._floor
+
+    def advance_to(self, timestamp: float) -> float:
+        """Raise the floor to ``timestamp`` if it is in the future;
+        a past instant is a no-op (real time already covered it)."""
+        if timestamp > self._floor:
+            self._floor = timestamp
+        return self.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"WallClock(now={self.now:.6f})"
+
+
 class StopWatch:
     """Accumulates intervals of virtual time under a label.
 
@@ -72,12 +151,12 @@ class StopWatch:
         self.total = 0.0
         self._started_at: float | None = None
 
-    def start(self, clock: VirtualClock) -> None:
+    def start(self, clock: Clock) -> None:
         if self._started_at is not None:
             raise RuntimeError(f"stopwatch {self.label!r} already running")
         self._started_at = clock.now
 
-    def stop(self, clock: VirtualClock) -> float:
+    def stop(self, clock: Clock) -> float:
         if self._started_at is None:
             raise RuntimeError(f"stopwatch {self.label!r} is not running")
         elapsed = clock.now - self._started_at

@@ -21,10 +21,30 @@ independent engine workers behind one shared answer cache, with
 pluggable shard routing (:mod:`~repro.service.routing`): round-robin,
 keyword-hash, or cluster-affinity placement that keeps queries over
 overlapping relations on the same worker.
+
+Time is pluggable (:mod:`repro.common.clock`): every service runs on a
+deterministic ``VirtualClock`` by default and on a ``WallClock`` for
+real serving, and the HTTP/SSE front end
+(:mod:`~repro.service.http`) puts the whole protocol on the wire --
+``repro serve --http`` -- streaming each handle's answers as
+Server-Sent Events.
 """
 
 from repro.service.admission import AdmissionController, AdmissionDecision
-from repro.service.cache import CacheStats, ResultCache, normalize_key
+from repro.service.cache import (
+    CacheStats,
+    PurgeCadence,
+    ResultCache,
+    normalize_key,
+)
+from repro.service.http import (
+    HttpQueryClient,
+    HttpServerThread,
+    QueryServiceHTTP,
+    answer_payload,
+    answers_digest,
+    handles_digest,
+)
 from repro.service.handle import (
     QueryHandle,
     QueryServiceProtocol,
@@ -58,9 +78,13 @@ __all__ = [
     "AdmissionDecision",
     "CacheStats",
     "ClusterAffinityRouter",
+    "HttpQueryClient",
+    "HttpServerThread",
     "KeywordHashRouter",
     "LoadConfig",
+    "PurgeCadence",
     "QService",
+    "QueryServiceHTTP",
     "QueryHandle",
     "QueryServiceProtocol",
     "QueryStatus",
@@ -75,8 +99,11 @@ __all__ = [
     "ShardedReport",
     "Telemetry",
     "Ticket",
+    "answer_payload",
+    "answers_digest",
     "generate_abandonments",
     "generate_load",
+    "handles_digest",
     "make_router",
     "normalize_key",
     "percentile",

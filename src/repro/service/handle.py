@@ -53,6 +53,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.common.clock import Clock
     from repro.keyword.queries import KeywordQuery, RankedAnswer
 
 
@@ -244,10 +245,17 @@ class QueryServiceProtocol(Protocol):
     :class:`~repro.service.server.QService` and the sharded
     :class:`~repro.service.sharding.ShardedQService` alike.
 
-    A conforming service admits queries along a virtual-time arrival
-    stream, hands back live :class:`QueryHandle` objects, streams
-    per-query answers progressively, honours ``cancel`` and per-query
-    deadlines, and renders one report type."""
+    A conforming service admits queries along an arrival stream, hands
+    back live :class:`QueryHandle` objects, streams per-query answers
+    progressively, honours ``cancel`` and per-query deadlines, and
+    renders one report type.  Arrival instants are read off the
+    service's ``clock`` -- a deterministic
+    :class:`~repro.common.clock.VirtualClock` by default, a
+    :class:`~repro.common.clock.WallClock` when serving real traffic
+    (the HTTP front end, :mod:`repro.service.http`)."""
+
+    #: The service's time source (shared fleet-wide when sharded).
+    clock: "Clock"
 
     def submit(self, kq: "KeywordQuery", arrival: float | None = None, *,
                deadline: float | None = None) -> QueryHandle:

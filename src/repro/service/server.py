@@ -55,6 +55,7 @@ from collections import deque
 from dataclasses import dataclass, replace
 
 from repro.atc.engine import QSystemEngine
+from repro.common.clock import Clock, VirtualClock
 from repro.common.config import ExecutionConfig
 from repro.common.errors import QueryError
 from repro.data.database import Federation
@@ -66,7 +67,12 @@ from repro.obs.trace import NO_TRACER, QueryTrace
 from repro.operators.rankmerge import RankMerge
 from repro.optimizer.repository import PlanRepository
 from repro.service.admission import AdmissionController
-from repro.service.cache import CacheKey, ResultCache, normalize_key
+from repro.service.cache import (
+    CacheKey,
+    PurgeCadence,
+    ResultCache,
+    normalize_key,
+)
 from repro.service.handle import (
     QueryHandle,
     QueryStatus,
@@ -116,8 +122,17 @@ class QService:
                  cache: ResultCache | None = None,
                  repository: PlanRepository | None = None,
                  registry: MetricsRegistry | None = None,
-                 tracer=None) -> None:
+                 tracer=None,
+                 clock: Clock | None = None) -> None:
         self.service_config = service or ServiceConfig()
+        #: The service's time source.  The default ``VirtualClock``
+        #: replays simulated arrival streams deterministically (the
+        #: correctness oracle); a ``WallClock`` serves real arrivals
+        #: (the HTTP front end).  The sharded front door hands every
+        #: worker one *shared* clock, so the fleet observes a single
+        #: "now" -- a worker must never write the clock backwards,
+        #: which ``advance_to`` guarantees by construction.
+        self.clock: Clock = clock if clock is not None else VirtualClock()
         #: Per-query trace recorder; the no-op default keeps every
         #: instrumentation site behind one ``enabled`` check.
         self.tracer = tracer if tracer is not None else NO_TRACER
@@ -164,13 +179,14 @@ class QService:
         #: watch (followers and promoted leaders; the engine watches
         #: the execution's own effective deadline).
         self._timed: list[QueryHandle] = []
-        self._now = 0.0
         #: Proactive cache grooming: sweep expired entries every
-        #: quarter-TTL of virtual time, so stale entries cannot sit
-        #: resident (and push live ones out under capacity pressure)
-        #: just because nobody happened to look them up.
-        self._purge_interval = self.cache.ttl / 4.0
-        self._next_purge = self._purge_interval
+        #: quarter-TTL on a monotone grid (:class:`PurgeCadence`), so
+        #: stale entries cannot sit resident (and push live ones out
+        #: under capacity pressure) just because nobody happened to
+        #: look them up.  Only the cache's *owner* grooms: a worker
+        #: handed a shared tier leaves the sweep to the front door, so
+        #: N shards never purge N times per period.
+        self._cadence = PurgeCadence(self.cache)
 
     # -- intake ---------------------------------------------------------------
 
@@ -343,6 +359,13 @@ class QService:
     # -- progress --------------------------------------------------------------
 
     @property
+    def _now(self) -> float:
+        """The service's current instant, read off its clock.  Every
+        former ``self._now = ...`` write became a ``clock.advance_to``,
+        so a clock shared across a fleet stays mutually consistent."""
+        return self.clock.now
+
+    @property
     def in_flight_count(self) -> int:
         """Queries admitted to the engine and not yet completed (the
         router's load gauge, and the admission controller's)."""
@@ -371,14 +394,13 @@ class QService:
         deadlines mid-step), harvest completions and terminations,
         sweep service-side deadlines, groom the answer cache, retry
         deferred queries against the freed budget."""
-        self._now = max(self._now, until)
+        self.clock.advance_to(until)
         self.engine.step(until)
         self._harvest()
         if self._timed:
             self._sweep_deadlines()
-        if self._now >= self._next_purge:
-            self.cache.purge_expired(self._now)
-            self._next_purge = self._now + self._purge_interval
+        if self._owns_cache:
+            self._cadence.fire(self._now)
         self._retry_deferred(until)
 
     def drain(self) -> ServiceReport:
@@ -389,9 +411,11 @@ class QService:
         while True:
             self.engine.drain()
             self._harvest()
-            self._now = max(self._now, self.engine.virtual_now())
+            self.clock.advance_to(self.engine.virtual_now())
             if self._timed:
                 self._sweep_deadlines()
+            if self._owns_cache:
+                self._cadence.fire(self._now)
             if not self._deferred:
                 break
             self._retry_deferred(self._now)
@@ -476,12 +500,16 @@ class QService:
         progressed = self.engine.drive_query(uq_id)
         self._harvest()
         # Streaming pulls virtual time forward just as stepping does:
-        # catch the service clock up and enforce the deadlines only
-        # the service watches (followers, promoted leaders), so a
-        # consumer who only ever pumps cannot outlive its deadline.
-        self._now = max(self._now, self.engine.virtual_now())
+        # catch the service clock up, enforce the deadlines only the
+        # service watches (followers, promoted leaders), and keep the
+        # grooming cadence live, so a consumer who only ever pumps
+        # cannot outlive its deadline -- and cannot starve the cache
+        # sweep.
+        self.clock.advance_to(self.engine.virtual_now())
         if self._timed:
             self._sweep_deadlines()
+        if self._owns_cache:
+            self._cadence.fire(self._now)
         return progressed or handle.terminal \
             or len(self.answers_so_far(handle)) > before
 

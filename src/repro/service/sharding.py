@@ -30,9 +30,16 @@ deadlines all behave identically whichever topology serves the query:
    TTFA, and throughput over the union of all latency samples
    (:meth:`~repro.service.telemetry.Telemetry.merged`).
 
-All workers advance on the same virtual arrival clock: every submit
-steps every shard to the arrival instant, so shard clocks stay mutually
-consistent and the shared cache's TTL is meaningful fleet-wide.
+All workers advance on the same arrival clock *instance*: the front
+door creates one :class:`~repro.common.clock.Clock` (virtual by
+default, wall for real serving) and hands it to every worker, so shard
+clocks are mutually consistent by construction and the shared cache's
+TTL is meaningful fleet-wide.  Streaming one shard's handle (which
+pulls that worker's time forward) moves the *fleet* clock, so a
+deadline sweep at the front door can never observe an instant some
+worker's own clock has not reached -- the pre-PR-7 per-worker ``_now``
+copies could disagree after a pump, letting the same arrival clamp to
+different instants depending on routing.
 
 Typical use::
 
@@ -46,6 +53,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.common.clock import Clock, VirtualClock
 from repro.common.config import ExecutionConfig
 from repro.common.errors import QueryError
 from repro.data.database import Federation
@@ -55,7 +63,7 @@ from repro.keyword.queries import KeywordQuery, RankedAnswer
 from repro.obs.instruments import MetricsRegistry
 from repro.obs.trace import NO_TRACER, QueryTrace
 from repro.optimizer.repository import PlanRepository
-from repro.service.cache import ResultCache, normalize_key
+from repro.service.cache import PurgeCadence, ResultCache, normalize_key
 from repro.service.handle import QueryHandle, QueryStatus, run_stream
 from repro.service.reports import ServiceReport, ShardedReport
 from repro.service.routing import RoutingPolicy, make_router
@@ -103,10 +111,15 @@ class ShardedQService:
                  generator: CandidateNetworkGenerator | None = None,
                  index: InvertedIndex | None = None,
                  registry: MetricsRegistry | None = None,
-                 tracer=None) -> None:
+                 tracer=None,
+                 clock: Clock | None = None) -> None:
         if n_shards <= 0:
             raise ValueError(f"n_shards must be positive, got {n_shards}")
         self.n_shards = n_shards
+        #: One clock for the whole fleet (see the module docstring):
+        #: front door and every worker read -- and advance -- the same
+        #: instance, so "now" is a fleet-wide fact.
+        self.clock: Clock = clock if clock is not None else VirtualClock()
         self.service_config = service or ServiceConfig()
         self.spill_over = spill_over
         #: One tracer for the whole fleet: the front door opens each
@@ -141,7 +154,7 @@ class ShardedQService:
             QService(federation, config, service=self.service_config,
                      generator=self.generator, index=self.index,
                      cache=self.cache, repository=self.repository,
-                     tracer=self.tracer)
+                     tracer=self.tracer, clock=self.clock)
             for _ in range(n_shards)
         ]
         #: Front-door telemetry: arrivals served by the shared cache
@@ -159,7 +172,9 @@ class ShardedQService:
         #: every copy executes the full plan, losing the coalescing the
         #: single-shard service guarantees.
         self._inflight_leaders: dict[tuple, QueryHandle] = {}
-        self._now = 0.0
+        #: The shared cache is the front door's tier, so the front door
+        #: grooms it (workers skip grooming on handed-in caches).
+        self._cadence = PurgeCadence(self.cache)
 
     # -- intake ---------------------------------------------------------------
 
@@ -322,12 +337,21 @@ class ShardedQService:
 
     # -- progress --------------------------------------------------------------
 
+    @property
+    def _now(self) -> float:
+        """The fleet's current instant, read off the shared clock."""
+        return self.clock.now
+
     def step(self, until: float) -> None:
-        """Advance every shard's virtual time in lockstep; completions
-        harvested anywhere land in the shared cache immediately."""
-        self._now = max(self._now, until)
+        """Advance every shard in lockstep on the shared clock;
+        completions harvested anywhere land in the shared cache
+        immediately, and the front door grooms that cache on its
+        quarter-TTL cadence."""
+        self.clock.advance_to(until)
+        now = self._now
         for worker in self.workers:
-            worker.step(self._now)
+            worker.step(now)
+        self._cadence.fire(self._now)
         # Keep the in-flight registry proportional to what is actually
         # in flight: resolved leaders are pruned lazily on same-key
         # access, but keys never repeated would otherwise accumulate
@@ -349,14 +373,14 @@ class ShardedQService:
         """Finish every admitted query on every shard and return the
         fleet report.  Shards drain in order, so a shard's completions
         populate the shared cache before later shards retry their
-        deferred queries.  The fleet clock catches up to the
-        furthest-ahead drained shard, so post-drain submissions are
-        clamped past everything already recorded (and past the shared
-        cache's newest entries)."""
+        deferred queries.  Each worker's drain advances the *shared*
+        clock to its drained engine's time, so post-drain submissions
+        are clamped past everything already recorded (and past the
+        shared cache's newest entries) without any front-door
+        aggregation step."""
         for worker in self.workers:
             worker.drain()
-        self._now = max([self._now] + [w.engine.virtual_now()
-                                       for w in self.workers])
+        self._cadence.fire(self._now)
         return self.report()
 
     def report(self) -> ShardedReport:

@@ -484,6 +484,61 @@ class TestDeadlines:
         assert svc.engine._deadlines == {}
 
 
+class TestDeadlineAtArrival:
+    """The degenerate deadline == arrival: the query is already overdue
+    the instant it is admitted, so it must expire with *zero* work --
+    no batching past its instant, no execution, no answers -- and a
+    terminal trace span, on both clock families."""
+
+    def test_expires_with_zero_work_virtual(self, fed, index):
+        from repro.obs.trace import TERMINAL, Tracer
+        tracer = Tracer()
+        svc = QService(fed, config(), index=index, tracer=tracer)
+        handle = svc.submit(kq("Q1", arrival=1.0), deadline=1.0)
+        report = svc.drain()
+        assert handle.status is QueryStatus.EXPIRED
+        assert handle.answers == []
+        assert handle.completed_at == 1.0    # its own instant, exactly
+        assert report.telemetry.expired == 1
+        # Zero work: no plan graph ever ran, so the engine's
+        # furthest-ahead graph clock never left its initial mark.
+        assert svc.engine.virtual_now() == 0.0
+        trace = handle.trace()
+        assert trace is not None and trace.finished
+        assert trace.disposition == "expired"
+        terminal = [s for s in trace.spans() if s.name == TERMINAL]
+        assert len(terminal) == 1 and terminal[0].v_start == 1.0
+
+    def test_expires_with_zero_work_wall(self, fed, index):
+        from repro.common.clock import WallClock
+        from repro.obs.trace import TERMINAL, Tracer
+        tracer = Tracer()
+        # On a wall clock the arrival instant is only known at submit
+        # time, so the edge is pinned through the config default:
+        # deadline = arrival + 0.0 == arrival, whatever `now` was.
+        svc = QService(fed, config(), index=index, tracer=tracer,
+                       service=ServiceConfig(default_deadline=0.0),
+                       clock=WallClock())
+        handle = svc.submit(kq("Q1"))
+        assert handle.deadline == handle.arrival
+        report = svc.drain()
+        assert handle.status is QueryStatus.EXPIRED
+        assert handle.answers == []
+        assert handle.completed_at == handle.arrival
+        assert report.telemetry.expired == 1
+        trace = handle.trace()
+        assert trace is not None and trace.disposition == "expired"
+        assert any(s.name == TERMINAL for s in trace.spans())
+
+    def test_sharded_fleet_same_edge(self, fed, index):
+        fleet = ShardedQService(fed, config(), n_shards=2, index=index)
+        handle = fleet.submit(kq("Q1", arrival=2.0), deadline=2.0)
+        fleet.drain()
+        assert handle.status is QueryStatus.EXPIRED
+        assert handle.answers == []
+        assert handle.completed_at == 2.0
+
+
 class TestTicketEdgeCases:
     """Satellite hardening: ``latency``/``done`` boundary semantics."""
 

@@ -1,8 +1,15 @@
-"""Tests for virtual time."""
+"""Tests for time: the ``Clock`` protocol, the virtual and wall
+implementations (monotonicity under arbitrary ``advance``/
+``advance_to`` interleavings, property-tested), the stopwatch, and the
+deadline-at-arrival edge both clock families must agree on."""
+
+import time
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.common.clock import StopWatch, VirtualClock
+from repro.common.clock import Clock, StopWatch, VirtualClock, WallClock
 
 
 class TestVirtualClock:
@@ -88,3 +95,103 @@ class TestStopWatch:
         watch.start(clock)
         clock.advance(4.0)
         assert watch.stop(clock) == 4.0
+
+class TestClockProtocol:
+    def test_virtual_clock_conforms(self):
+        assert isinstance(VirtualClock(), Clock)
+
+    def test_wall_clock_conforms(self):
+        assert isinstance(WallClock(), Clock)
+
+    def test_non_clock_rejected(self):
+        assert not isinstance(object(), Clock)
+
+
+class TestWallClock:
+    def test_starts_at_floor(self):
+        assert WallClock(5.0).now >= 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            WallClock(-1.0)
+
+    def test_real_time_passes(self):
+        clock = WallClock()
+        before = clock.now
+        time.sleep(0.01)
+        assert clock.now > before
+
+    def test_advance_raises_floor_past_now(self):
+        clock = WallClock()
+        target = clock.advance(100.0)
+        assert target >= 100.0
+        assert clock.now >= target
+
+    def test_advance_rejects_negative(self):
+        clock = WallClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_advance_zero_keeps_time_flowing(self):
+        clock = WallClock()
+        clock.advance(0.0)
+        before = clock.now
+        time.sleep(0.01)
+        assert clock.now > before
+
+    def test_advance_to_future_raises_floor(self):
+        clock = WallClock()
+        clock.advance_to(50.0)
+        assert clock.now >= 50.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = WallClock(10.0)
+        clock.advance_to(1.0)
+        assert clock.now >= 10.0
+
+    def test_advance_returns_new_floor(self):
+        clock = WallClock()
+        returned = clock.advance(2.0)
+        assert clock.now >= returned
+
+
+# One bounded op per element: advance by a delta, or advance_to an
+# absolute instant (possibly in the past -- must be a no-op).
+_OPS = st.lists(
+    st.tuples(st.sampled_from(["advance", "advance_to"]),
+              st.floats(min_value=0.0, max_value=1e6,
+                        allow_nan=False, allow_infinity=False)),
+    max_size=30)
+
+
+class TestClockMonotonicity:
+    """Both Clock implementations are monotone under arbitrary
+    ``advance``/``advance_to`` interleavings -- the contract every
+    deadline sweep and TTL groom in the serving tier relies on."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(start=st.floats(min_value=0.0, max_value=1e6), ops=_OPS)
+    def test_virtual_clock_monotone(self, start, ops):
+        self._check(VirtualClock(start), ops)
+
+    @settings(max_examples=50, deadline=None)
+    @given(start=st.floats(min_value=0.0, max_value=1e6), ops=_OPS)
+    def test_wall_clock_monotone(self, start, ops):
+        self._check(WallClock(start), ops)
+
+    @staticmethod
+    def _check(clock, ops):
+        last = clock.now
+        for op, value in ops:
+            before = clock.now
+            assert before >= last
+            if op == "advance":
+                clock.advance(value)
+                # advancing declares `value` seconds spent: `now` must
+                # land at least that far past the pre-advance instant.
+                assert clock.now >= before + value - 1e-9
+            else:
+                clock.advance_to(value)
+                assert clock.now >= min(value, before)
+                assert clock.now >= before  # past target is a no-op
+            last = clock.now

@@ -1,0 +1,136 @@
+"""The clock-mode differential suite: one seeded workload, three
+serving paths, identical answers.
+
+The virtual-clock in-process harness is the correctness oracle; this
+module pins that moving to real time (``WallClock``) or onto the wire
+(HTTP/SSE) changes *when* things happen but never *what* is answered:
+the scheduling-independent answer digests
+(:func:`repro.service.http.answers_digest`) must agree byte-for-byte
+across
+
+* ``VirtualClock``, in process (the oracle),
+* ``WallClock``, in process,
+* ``WallClock``, over HTTP/SSE with a housekeeping tick.
+"""
+
+import pytest
+
+from repro.common.clock import VirtualClock, WallClock
+from repro.common.config import DelayModel, ExecutionConfig, SharingMode
+from repro.data.figure1 import figure1_federation
+from repro.data.inverted import InvertedIndex
+from repro.service import (
+    HttpQueryClient,
+    HttpServerThread,
+    LoadConfig,
+    QService,
+    ShardedQService,
+    answers_digest,
+    generate_load,
+    handles_digest,
+)
+
+CARDS = {
+    "UP": 60, "TP": 50, "E": 40, "E2M": 70, "I2G": 70,
+    "T": 60, "TS": 65, "G2G": 75, "GI": 60, "RL": 65,
+}
+K = 6
+LOAD = LoadConfig(n_queries=12, rate_qps=2.0, k=K, n_templates=5,
+                  vocabulary_size=16, seed=23)
+
+
+@pytest.fixture(scope="module")
+def fed():
+    return figure1_federation(seed=7, cardinalities=dict(CARDS),
+                              domain_factor=0.7)
+
+
+@pytest.fixture(scope="module")
+def index(fed):
+    return InvertedIndex(fed)
+
+
+@pytest.fixture(scope="module")
+def load(fed, index):
+    return generate_load(fed, LOAD, index=index)
+
+
+def config(**overrides):
+    base = ExecutionConfig(mode=SharingMode.ATC_FULL, k=K, seed=1,
+                           batch_window=2.0,
+                           delays=DelayModel(deterministic=True))
+    return base.with_overrides(**overrides)
+
+
+def serve_in_process(fed, index, load, clock):
+    """Submit each arrival at its instant and stream it to completion
+    -- the call sequence every differential leg repeats."""
+    svc = QService(fed, config(), index=index, clock=clock)
+    handles = []
+    for kq in load:
+        handle = svc.submit(kq, arrival=kq.arrival)
+        list(handle.results())
+        handles.append(handle)
+    svc.drain()
+    return handles
+
+
+@pytest.fixture(scope="module")
+def oracle_digest(fed, index, load):
+    handles = serve_in_process(fed, index, load, VirtualClock())
+    assert all(h.done for h in handles)
+    return handles_digest(handles)
+
+
+class TestClockModeDifferential:
+    def test_wall_clock_in_process_matches_oracle(self, fed, index, load,
+                                                  oracle_digest):
+        """Real time flowing underneath changes instants, not answers:
+        on a ``WallClock`` the load's virtual arrival instants are in
+        the past by submit time and get clamped to `now`, yet every
+        query resolves to the same ranked answers."""
+        handles = serve_in_process(fed, index, load, WallClock())
+        assert all(h.done for h in handles)
+        assert handles_digest(handles) == oracle_digest
+
+    def test_wall_clock_http_matches_oracle(self, fed, index, load,
+                                            oracle_digest):
+        """The full PR gate: wall-clock serving over HTTP/SSE (with the
+        housekeeping tick running) digests identically to the
+        virtual-clock in-process oracle."""
+        service = QService(fed, config(), index=index, clock=WallClock())
+        per_query = {}
+        with HttpServerThread(service, tick=0.02) as srv:
+            client = HttpQueryClient("127.0.0.1", srv.port)
+            for kq in load:
+                client.submit(kq.keywords, k=kq.k, query_id=kq.kq_id)
+                answers, end = client.stream(kq.kq_id)
+                assert end is not None and end["disposition"] == "done"
+                per_query[kq.kq_id] = answers
+        assert answers_digest(per_query) == oracle_digest
+
+    def test_sharded_wall_clock_matches_oracle(self, fed, index, load,
+                                               oracle_digest):
+        """Sharding on a shared wall clock is still answer-preserving."""
+        fleet = ShardedQService(fed, config(), n_shards=2, index=index,
+                                clock=WallClock())
+        handles = []
+        for kq in load:
+            handle = fleet.submit(kq, arrival=kq.arrival)
+            list(handle.results())
+            handles.append(handle)
+        fleet.drain()
+        assert all(h.done for h in handles)
+        assert handles_digest(handles) == oracle_digest
+
+    def test_wall_clock_arrivals_are_clamped_to_now(self, fed, index):
+        """A wall-clock service never backdates: an arrival instant
+        already covered by real time is clamped to the clock's now."""
+        from repro.keyword.queries import KeywordQuery
+        clock = WallClock()
+        clock.advance(100.0)
+        svc = QService(fed, config(), index=index, clock=clock)
+        handle = svc.submit(
+            KeywordQuery("Q1", ("protein", "plasma membrane"), k=K,
+                         arrival=1.0), arrival=1.0)
+        assert handle.arrival >= 100.0

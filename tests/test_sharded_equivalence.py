@@ -427,3 +427,74 @@ class TestShardedMechanics:
         for n_shards in (2, 3, 5, 7):
             assert stable_shard(("gene", "gene", "PROTEIN"), n_shards) == \
                 stable_shard(("protein", "gene"), n_shards)
+
+
+class TestSharedFleetClock:
+    """PR 7 regression: the fleet runs on ONE clock instance shared by
+    the front door and every worker, so 'the fleet's now' is a fact by
+    construction.  The old design kept a per-front-door ``_now`` that
+    only caught up with pump-advanced workers at the next step/drain
+    aggregation -- a submission in that gap was backdated relative to
+    the worker that had already run ahead."""
+
+    def make_fleet(self, fed, index, **kwargs):
+        return ShardedQService(fed, config_for(SharingMode.ATC_FULL),
+                               n_shards=2, routing="roundrobin",
+                               index=index, **kwargs)
+
+    def test_workers_share_the_front_door_clock(self, fed, index):
+        fleet = self.make_fleet(fed, index)
+        assert all(worker.clock is fleet.clock
+                   for worker in fleet.workers)
+
+    def test_pump_advanced_worker_is_the_fleet_instant(self, fed, index):
+        """Streaming a query pumps one shard's engine ahead; the front
+        door must observe that instant immediately -- the next
+        submission's arrival is clamped to it, never backdated."""
+        fleet = self.make_fleet(fed, index)
+        t1 = fleet.submit(KeywordQuery(
+            "KQ1", ("protein", "plasma membrane"), k=K, arrival=0.0))
+        list(t1.results())               # pump shard 0 to completion
+        assert t1.done
+        pumped_to = fleet.clock.now
+        assert pumped_to > 0.0           # the worker really ran ahead
+        t2 = fleet.submit(KeywordQuery(
+            "KQ2", ("membrane", "gene"), k=K, arrival=0.5))
+        assert t2.arrival >= pumped_to   # clamped to the fleet instant
+        fleet.drain()
+        assert t2.done
+
+    def test_exactly_one_groom_per_period_fleet_wide(self, fed, index):
+        """Workers share the front door's cache and so must not groom
+        it themselves: stepping the whole fleet across one cadence
+        period purges the shared cache exactly once -- not once per
+        shard, and not once per same-instant step."""
+        fleet = self.make_fleet(fed, index)
+        calls = []
+        orig = fleet.cache.purge_expired
+
+        def wrapped(now):
+            calls.append(now)
+            return orig(now)
+
+        fleet.cache.purge_expired = wrapped
+        boundary = fleet._cadence.next_fire
+        fleet.step(boundary)
+        fleet.step(boundary)             # same instant: no re-fire
+        fleet.step(boundary + 0.001)     # same period: no re-fire
+        assert calls == [boundary]
+
+    def test_drain_grooms_the_shared_cache(self, fed, index):
+        fleet = self.make_fleet(fed, index)
+        fleet.submit(KeywordQuery(
+            "KQ1", ("protein", "plasma membrane"), k=K, arrival=0.0))
+        calls = []
+        orig = fleet.cache.purge_expired
+
+        def wrapped(now):
+            calls.append(now)
+            return orig(now)
+
+        fleet.cache.purge_expired = wrapped
+        fleet.step(fleet._cadence.next_fire + 1.0)
+        assert len(calls) == 1
