@@ -464,3 +464,124 @@ def test_service_trace_overhead(save_result, trace_overhead_enabled):
     save_result("service_trace_overhead", render_trace_overhead(arms))
     failures = check_trace_overhead(arms)
     assert not failures, failures
+
+
+# -- true parallelism: process-per-shard wall-clock scaling ------------------
+
+#: The scaling stream: enough per-query engine work (k=50 over the
+#: quick GUS federation) that compute dominates the wire protocol's
+#: per-message cost, few enough queries that the sweep stays in CI
+#: budget.
+PARALLEL_LOAD = replace(LOAD, n_queries=120)
+PARALLEL_SHARDS = (1, 4)
+
+
+def run_parallel_bench(workers: str, shard_counts=PARALLEL_SHARDS):
+    """Identical load through 1..N-shard fleets on one transport,
+    measuring *wall* seconds from first submit to drained.  Fleet
+    construction (process spawn, federation rebuild, warm-up) is
+    excluded: the gate is about steady-state serving, not boot.
+    Returns per-shard-count rows plus the answers digest each run
+    produced -- the digests must agree before any speedup counts.
+    """
+    import time as _time
+
+    from repro.data.gus import GUSConfig as _GUSConfig
+    from repro.service import WorkerSpec, handles_digest
+
+    gus_config = _GUSConfig(
+        n_hubs=8, links_per_extra_hub=2, synonym_every=3,
+        satellites_per_hub=1, n_sites=4, min_rows=80, max_rows=260,
+        domain_factor=0.45, seed=11)
+    federation = _federation()
+    index = InvertedIndex(federation)
+    load = generate_load(federation, PARALLEL_LOAD, index=index)
+    config = ExecutionConfig(mode=SharingMode.ATC_FULL, k=PARALLEL_LOAD.k,
+                             batch_window=1.0, optimizer_time_scale=0.0,
+                             seed=11)
+    rows = {}
+    for n_shards in shard_counts:
+        spec = WorkerSpec.gus(config, gus_config) \
+            if workers == "process" else None
+        fleet = ShardedQService(federation, config, n_shards=n_shards,
+                                routing="hash",
+                                service=ServiceConfig(max_in_flight=256),
+                                index=index, workers=workers,
+                                worker_spec=spec)
+        try:
+            started = _time.perf_counter()
+            handles = [fleet.submit(kq) for kq in load]
+            fleet.drain()
+            wall = _time.perf_counter() - started
+        finally:
+            fleet.close()
+        assert all(h.status.value == "done" for h in handles), \
+            (workers, n_shards)
+        rows[n_shards] = {
+            "workers": workers,
+            "shards": n_shards,
+            "wall_s": wall,
+            "throughput_q_per_wall_s": len(load) / wall,
+            "digest": handles_digest(handles),
+        }
+    return rows
+
+
+def test_parallel_scaling(benchmark, save_result, results_dir,
+                          bench_workers):
+    """The perf gate of the process-per-shard transport.
+
+    Always: every shard count serves byte-identical answers (the
+    differential oracle, on whichever transport was selected).  With
+    ``--workers process`` on a host with >= 4 cores: the 4-shard fleet
+    must clear >= 1.5x the single-shard wall-clock throughput --
+    genuine parallelism, not protocol overhead.  On smaller hosts (or
+    inproc) the sweep still runs and records its numbers, but the
+    speedup is reported, not asserted: one core cannot exhibit it.
+    """
+    import json as _json
+    import os as _os
+
+    rows = benchmark.pedantic(run_parallel_bench, rounds=1, iterations=1,
+                              args=(bench_workers,))
+
+    digests = {r["digest"] for r in rows.values()}
+    assert len(digests) == 1, \
+        f"shard counts disagree on answers: {sorted(digests)}"
+
+    base = rows[min(rows)]
+    wide = rows[max(rows)]
+    speedup = wide["throughput_q_per_wall_s"] / \
+        base["throughput_q_per_wall_s"]
+    cores = _os.cpu_count() or 1
+
+    table = SeriesTable(
+        title=f"Parallel scaling, {bench_workers} workers, ATC-FULL "
+              f"({PARALLEL_LOAD.n_queries} queries, {cores} host cores)",
+        x_label="shards",
+        columns=["wall s", "throughput q/wall-s", "speedup vs 1"],
+    )
+    for n_shards, row in sorted(rows.items()):
+        table.add_row(
+            str(n_shards), row["wall_s"], row["throughput_q_per_wall_s"],
+            row["throughput_q_per_wall_s"]
+            / base["throughput_q_per_wall_s"],
+        )
+    save_result("service_parallel", table.render())
+
+    payload = {
+        "workers": bench_workers,
+        "host_cores": cores,
+        "load": {"n_queries": PARALLEL_LOAD.n_queries,
+                 "k": PARALLEL_LOAD.k},
+        "rows": [rows[n] for n in sorted(rows)],
+        "speedup": speedup,
+        "gated": bench_workers == "process" and cores >= 4,
+    }
+    (results_dir / "BENCH_service_parallel.json").write_text(
+        _json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    if bench_workers == "process" and cores >= 4:
+        assert speedup >= 1.5, (
+            f"4 process shards reached only {speedup:.2f}x the "
+            f"single-shard throughput on {cores} cores (gate: 1.5x)")

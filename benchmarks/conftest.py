@@ -28,6 +28,11 @@ def pytest_addoption(parser: pytest.Parser) -> None:
         "--routing", default="hash,cluster",
         help="comma-separated routing policies the sharded benchmark "
              "runs and compares (default hash,cluster)")
+    group.addoption(
+        "--workers", default="inproc", choices=["inproc", "process"],
+        help="shard worker transport for the parallel-scaling "
+             "benchmark: 'process' spawns one OS process per shard "
+             "and gates on wall-clock speedup (default inproc)")
     obs = parser.getgroup("observability bench")
     obs.addoption(
         "--trace-overhead", action="store_true", default=False,
@@ -44,6 +49,11 @@ def trace_overhead_enabled(request) -> bool:
 @pytest.fixture(scope="session")
 def bench_shards(request) -> int:
     return request.config.getoption("--shards")
+
+
+@pytest.fixture(scope="session")
+def bench_workers(request) -> str:
+    return request.config.getoption("--workers")
 
 
 @pytest.fixture(scope="session")

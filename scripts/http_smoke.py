@@ -25,8 +25,11 @@ from __future__ import annotations
 
 import argparse
 import pathlib
+import queue
+import re
 import subprocess
 import sys
+import threading
 import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
@@ -107,9 +110,35 @@ def check_cancel(client: HttpQueryClient, qid: str) -> None:
     print(f"http_smoke: {qid}: cancelled cleanly")
 
 
+def launch(cmd: list[str]) -> tuple[subprocess.Popen, "queue.Queue"]:
+    """Start the server subprocess and watch its stdout for the
+    ``listening on http://host:port`` line -- with ``--port 0`` the OS
+    assigns the port and this line is the only place it is reported.
+    The reader thread keeps draining stdout afterwards (echoing it) so
+    the server never blocks on a full pipe."""
+    proc = subprocess.Popen(cmd, stdout=subprocess.PIPE, text=True,
+                            bufsize=1)
+    ports: "queue.Queue[int | None]" = queue.Queue()
+
+    def pump() -> None:
+        assert proc.stdout is not None
+        for line in proc.stdout:
+            sys.stdout.write(line)
+            sys.stdout.flush()
+            match = re.search(r"listening on http://[^:]+:(\d+)", line)
+            if match:
+                ports.put(int(match.group(1)))
+        ports.put(None)   # EOF: wake the waiter if it never listened
+
+    threading.Thread(target=pump, daemon=True).start()
+    return proc, ports
+
+
 def main() -> int:
     parser = argparse.ArgumentParser()
-    parser.add_argument("--port", type=int, default=18028)
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port to serve on; 0 (the default) "
+                             "binds an OS-assigned ephemeral port")
     parser.add_argument("--trace-dir", default=None)
     args = parser.parse_args()
 
@@ -117,11 +146,17 @@ def main() -> int:
            "--port", str(args.port)]
     if args.trace_dir:
         cmd += ["--trace-dir", args.trace_dir]
-    proc = subprocess.Popen(cmd)
-    client = HttpQueryClient("127.0.0.1", args.port, timeout=30.0)
+    proc, ports = launch(cmd)
     try:
+        try:
+            port = ports.get(timeout=60.0)
+        except queue.Empty:
+            port = None
+        if port is None:
+            fail("server never reported a listening port")
+        client = HttpQueryClient("127.0.0.1", port, timeout=30.0)
         health = wait_healthy(client, proc)
-        print(f"http_smoke: healthy on port {args.port} "
+        print(f"http_smoke: healthy on port {port} "
               f"({health['clock']}, now={health['now']:.3f})")
         for i, keywords in enumerate(QUERIES, start=1):
             check_stream(client, f"smoke-{i}", keywords)

@@ -102,6 +102,13 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--shards", type=int, default=1,
                        help="engine workers behind the router; >1 serves "
                             "through the sharded tier (default 1)")
+    serve.add_argument("--workers", default="inproc",
+                       choices=["inproc", "process"],
+                       help="shard worker transport when --shards > 1: "
+                            "'inproc' runs every worker in this process "
+                            "(deterministic oracle), 'process' spawns one "
+                            "OS process per shard for true parallelism "
+                            "(default inproc)")
     serve.add_argument("--routing", default="cluster",
                        choices=("roundrobin", "hash", "cluster"),
                        help="shard routing policy when --shards > 1 "
@@ -252,12 +259,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
 
     if args.corpus == "gus":
-        federation = gus_federation(
-            GUSConfig(n_hubs=8, links_per_extra_hub=2, synonym_every=3,
-                      satellites_per_hub=1, n_sites=4,
-                      min_rows=80, max_rows=260,
-                      domain_factor=0.45, seed=args.seed))
+        gus_config = GUSConfig(n_hubs=8, links_per_extra_hub=2,
+                               synonym_every=3, satellites_per_hub=1,
+                               n_sites=4, min_rows=80, max_rows=260,
+                               domain_factor=0.45, seed=args.seed)
+        federation = gus_federation(gus_config)
     else:
+        gus_config = None
         federation = figure1_federation()
     load = [] if args.http else generate_load(federation, LoadConfig(
         n_queries=args.queries, rate_qps=args.rate, k=args.k,
@@ -284,12 +292,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
         tracer = Tracer()
     clock_mode = args.clock or ("wall" if args.http else "virtual")
     clock = WallClock() if clock_mode == "wall" else VirtualClock()
+    if args.workers == "process" and args.shards < 2:
+        raise ValueError("--workers process needs --shards > 1 "
+                         "(one process per shard)")
     if args.shards > 1:
+        worker_spec = None
+        if args.workers == "process":
+            from repro.service import WorkerSpec
+            worker_spec = (WorkerSpec.gus(config, gus_config)
+                           if args.corpus == "gus"
+                           else WorkerSpec.figure1(config))
         service = ShardedQService(federation, config, n_shards=args.shards,
                                   routing=args.routing,
                                   service=service_config, tracer=tracer,
-                                  clock=clock)
-        fleet_note = f", {args.shards} shards via {args.routing}"
+                                  clock=clock, workers=args.workers,
+                                  worker_spec=worker_spec)
+        fleet_note = (f", {args.shards} shards via {args.routing}"
+                      + (f", {args.workers} workers"
+                         if args.workers != "inproc" else ""))
     else:
         service = QService(federation, config, service_config,
                            tracer=tracer, clock=clock)
@@ -302,6 +322,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
               f"corpus {args.corpus}{fleet_note})...")
         report = service.run(load)
         print(report.render())
+    # Shut the worker fleet down before exporting: process workers
+    # ship their trace spans and final metric snapshots back at close.
+    close = getattr(service, "close", None)
+    if close is not None:
+        close()
     if tracer is not None:
         from repro.obs.export import write_trace
         path = write_trace(tracer, args.trace_dir)

@@ -264,6 +264,56 @@ class MetricsRegistry:
         return [json.dumps({"name": name, **body}, sort_keys=True)
                 for name, body in snap.items()]
 
+    # -- wire state ----------------------------------------------------------
+
+    def state(self) -> dict:
+        """The whole namespace as plain JSON-able data -- the form a
+        process worker ships its registry across the wire in.  Unlike
+        :meth:`snapshot` (the human/export view), this preserves raw
+        histogram distributions so :meth:`from_state` rebuilds a
+        registry :meth:`merged` treats exactly like a live one."""
+        self.collect()
+        out: dict[str, dict] = {}
+        for inst in self.instruments():
+            entry: dict = {"kind": inst.kind, "help": inst.help}
+            if isinstance(inst, Histogram):
+                entry["buckets"] = list(inst.buckets)
+                entry["dists"] = [
+                    [[list(pair) for pair in key], list(counts), total, n]
+                    for key, (counts, total, n) in sorted(
+                        inst.dists().items())]
+            else:
+                entry["samples"] = [
+                    [[list(pair) for pair in key], value]
+                    for key, value in sorted(inst.samples().items())]
+            out[inst.name] = entry
+        return out
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`state` output (tuples may
+        have become lists on the JSON wire)."""
+        out = cls()
+        for name, entry in state.items():
+            kind = entry.get("kind")
+            if kind == "histogram":
+                inst = out.histogram(name, entry.get("help", ""),
+                                     buckets=entry.get("buckets"))
+                for key, counts, total, n in entry.get("dists", ()):
+                    label_key = tuple((str(k), str(v)) for k, v in key)
+                    inst.merge_dist(label_key, (list(counts), total, n))
+                continue
+            if kind == "counter":
+                inst = out.counter(name, entry.get("help", ""))
+            elif kind == "gauge":
+                inst = out.gauge(name, entry.get("help", ""))
+            else:
+                raise ValueError(
+                    f"unknown instrument kind {kind!r} for {name!r}")
+            for key, value in entry.get("samples", ()):
+                inst.set(value, **{str(k): str(v) for k, v in key})
+        return out
+
     # -- merging -------------------------------------------------------------
 
     @classmethod

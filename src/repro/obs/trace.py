@@ -253,6 +253,30 @@ class Tracer:
             return None
         return self.span(qid, name, v_start, v_end, wall=wall, **attrs)
 
+    def adopt(self, trace: QueryTrace) -> None:
+        """Merge one externally recorded trace into this tracer.
+
+        The process-worker transport records each routed query's worker
+        spans in the worker's *own* tracer; at fleet close they are
+        shipped back and adopted here.  When this tracer already holds
+        an (unfinished) trace for the same query -- the front door
+        opened it at submit -- the adopted root's children are grafted
+        under the local root and its terminal disposition fills in the
+        local one; an unknown query is archived whole.
+        """
+        mine = self._traces.get(trace.qid)
+        if mine is None:
+            self._archive.append(trace)
+            return
+        root, other = mine.root, trace.root
+        root.children.extend(other.children)
+        for key, value in other.attrs.items():
+            root.attrs.setdefault(key, value)
+        if root.v_end is None and other.v_end is not None:
+            root.v_end = other.v_end
+            root.w_end = other.w_end
+        mine.finished = mine.finished or trace.finished
+
     # -- reading ------------------------------------------------------------
 
     def trace(self, qid: str) -> QueryTrace | None:
@@ -325,6 +349,9 @@ class NullTracer:
         return None
 
     def alias(self, uq_id, qid):
+        return None
+
+    def adopt(self, trace):
         return None
 
     def qid_for(self, uq_id):

@@ -69,25 +69,40 @@ from repro.service.routing import (
     RoutingPolicy,
     make_router,
 )
+from repro.service.protocol import ProtocolError, WIRE_VERSION
 from repro.service.server import QService, ServiceConfig
 from repro.service.sharding import RoutingStats, ShardedQService
 from repro.service.telemetry import Telemetry, percentile
+from repro.service.workers import (
+    CacheBackend,
+    InprocWorker,
+    ProcessWorker,
+    RepositoryBackend,
+    ShardWorker,
+    WorkerCrashed,
+    WorkerSpec,
+)
 
 __all__ = [
     "AdmissionController",
     "AdmissionDecision",
+    "CacheBackend",
     "CacheStats",
     "ClusterAffinityRouter",
     "HttpQueryClient",
     "HttpServerThread",
+    "InprocWorker",
     "KeywordHashRouter",
     "LoadConfig",
+    "ProcessWorker",
+    "ProtocolError",
     "PurgeCadence",
     "QService",
     "QueryServiceHTTP",
     "QueryHandle",
     "QueryServiceProtocol",
     "QueryStatus",
+    "RepositoryBackend",
     "ResultCache",
     "RoundRobinRouter",
     "RoutingPolicy",
@@ -95,10 +110,14 @@ __all__ = [
     "ServiceConfig",
     "ServiceReport",
     "ServiceReportBase",
+    "ShardWorker",
     "ShardedQService",
     "ShardedReport",
     "Telemetry",
     "Ticket",
+    "WIRE_VERSION",
+    "WorkerCrashed",
+    "WorkerSpec",
     "answer_payload",
     "answers_digest",
     "generate_abandonments",

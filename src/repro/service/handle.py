@@ -42,6 +42,9 @@ Terminal-state contract (see :meth:`QueryHandle.latency`):
   had been emitted by then, ``latency`` is ``None``.
 * ``EXPIRED`` -- its deadline fired first; like ``CANCELLED`` but
   initiated by the service's deadline enforcement.
+* ``FAILED`` -- the serving infrastructure lost the query (the shard's
+  worker *process* died with it in flight); ``reason`` names the
+  crash, ``answers`` holds whatever had streamed out before.
 """
 
 from __future__ import annotations
@@ -72,6 +75,7 @@ class QueryStatus(str, enum.Enum):
     DONE = "done"
     CANCELLED = "cancelled"
     EXPIRED = "expired"
+    FAILED = "failed"
 
     __str__ = str.__str__
 
@@ -82,7 +86,8 @@ class QueryStatus(str, enum.Enum):
 
 
 _TERMINAL = frozenset({QueryStatus.REJECTED, QueryStatus.DONE,
-                       QueryStatus.CANCELLED, QueryStatus.EXPIRED})
+                       QueryStatus.CANCELLED, QueryStatus.EXPIRED,
+                       QueryStatus.FAILED})
 
 
 @dataclass

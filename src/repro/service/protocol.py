@@ -1,0 +1,406 @@
+"""The shard-worker wire protocol.
+
+The sharded front door used to call its workers' Python methods
+directly; running a worker in its own OS process means every
+interaction must cross a pipe instead.  This module defines that
+boundary as an explicit, *serializable* message protocol: one small
+frozen dataclass per operation -- submit / cancel / step-to / pump /
+harvest / telemetry-snapshot / trace-dump / shutdown, plus the cache
+mirroring and leadership queries the front door's coalescing tier
+needs -- with a versioned, pickle-free JSON wire encoding.
+
+Design rules:
+
+* **Versioned.**  Every frame carries :data:`WIRE_VERSION`; a decoder
+  seeing a version (or kind) it does not know raises
+  :class:`ProtocolError` instead of guessing.  A worker binary can
+  therefore never silently misread a newer front door's frames.
+* **Pickle-free.**  Frames are UTF-8 JSON over ``Connection.
+  send_bytes``: floats round-trip exactly (Python's ``repr``-based
+  shortest-form encoding), and a worker can be driven by anything that
+  speaks the frame format -- no Python object graphs on the wire.
+* **Canonical answers.**  Ranked answers travel in the same canonical
+  form the differential digest functions already consume
+  (:func:`repro.service.http.answer_payload`): ordered score sequence
+  plus sorted ``[alias, rel, tid]`` provenance rows, extended with the
+  owning ``uq`` id so the in-memory :class:`~repro.keyword.queries.
+  RankedAnswer` can be rebuilt bit-for-bit.
+* **Clock by message.**  There is no shared clock object across the
+  process boundary; every request carries the fleet's ``now`` and
+  every reply carries the worker's, so the fleet's single-"now"
+  invariant (PR 7) holds at message granularity: a worker observes
+  every fleet instant no later than its next request, and the front
+  door observes a worker's progress at the reply.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar
+
+from repro.keyword.queries import RankedAnswer
+
+__all__ = [
+    "WIRE_VERSION",
+    "ProtocolError",
+    "Message",
+    "SubmitQuery",
+    "CancelQuery",
+    "StepTo",
+    "DrainShard",
+    "PumpQuery",
+    "AnswersSoFar",
+    "InflightLeader",
+    "CachePut",
+    "TelemetrySnapshot",
+    "TraceDump",
+    "Shutdown",
+    "HandleState",
+    "SubmitReply",
+    "BoolReply",
+    "AnswersReply",
+    "LeaderReply",
+    "SnapshotReply",
+    "TraceReply",
+    "Ack",
+    "WorkerUpdate",
+    "encode",
+    "decode",
+    "encode_answer",
+    "decode_answer",
+    "encode_answers",
+    "decode_answers",
+]
+
+#: The wire format version stamped on (and demanded of) every frame.
+WIRE_VERSION = 1
+
+
+class ProtocolError(ValueError):
+    """A frame that cannot be decoded: unknown version, unknown kind,
+    or a field set that does not match the message dataclass."""
+
+
+# -- canonical answer encoding ------------------------------------------------
+
+def encode_answer(answer: RankedAnswer) -> dict:
+    """One ranked answer in the digest functions' canonical form
+    (ordered rows, plan-independent identity) plus the ``uq`` id."""
+    return {
+        "uq": answer.uq_id,
+        "cq": answer.cq_id,
+        "score": answer.score,
+        "rows": tuple((alias, rel, tid)
+                      for alias, rel, tid in sorted(answer.provenance)),
+    }
+
+
+def decode_answer(payload: dict) -> RankedAnswer:
+    return RankedAnswer(
+        uq_id=payload["uq"],
+        cq_id=payload["cq"],
+        score=payload["score"],
+        provenance=frozenset(
+            (alias, rel, tid) for alias, rel, tid in payload["rows"]),
+    )
+
+
+def encode_answers(answers) -> tuple[dict, ...] | None:
+    if answers is None:
+        return None
+    return tuple(encode_answer(a) for a in answers)
+
+
+def decode_answers(payloads) -> list[RankedAnswer] | None:
+    if payloads is None:
+        return None
+    return [decode_answer(p) for p in payloads]
+
+
+# -- the messages -------------------------------------------------------------
+
+_KINDS: dict[str, type] = {}
+
+
+def _register(cls):
+    kind = cls.__name__
+    cls.kind = kind
+    _KINDS[kind] = cls
+    return cls
+
+
+@dataclass(frozen=True)
+class Message:
+    """Common surface: every message knows its kind tag."""
+
+    kind: ClassVar[str]
+
+
+@_register
+@dataclass(frozen=True)
+class HandleState(Message):
+    """One query handle's observable state, as the worker last saw it.
+
+    The worker reports these both as direct replies (submit) and as
+    *events* piggy-backed on every reply (:class:`WorkerUpdate`), so
+    the front door's proxy handles track the worker's without any
+    polling.  ``answers`` is ``None`` until the handle is terminal;
+    a terminal state carries the final (possibly partial) answer list
+    in canonical form.
+    """
+
+    kq_id: str
+    status: str
+    via: str | None = None
+    uq_id: str | None = None
+    answers: tuple[dict, ...] | None = None
+    completed_at: float | None = None
+    reason: str = ""
+    deadline: float | None = None
+    arrival: float = 0.0
+
+
+@_register
+@dataclass(frozen=True)
+class WorkerUpdate(Message):
+    """Piggy-backed worker state carried on every reply: the worker's
+    clock, its load gauges, and the handle-state events since the last
+    message.  Harvest, in protocol terms, *is* this update: the front
+    door never polls for completions, they ride the next reply."""
+
+    now: float = 0.0
+    in_flight: int = 0
+    deferred: int = 0
+    events: tuple[HandleState, ...] = ()
+
+
+# requests --------------------------------------------------------------------
+
+@_register
+@dataclass(frozen=True)
+class SubmitQuery(Message):
+    """Admit one keyword query on the worker (the front door already
+    performed the authoritative cache lookup and routing)."""
+
+    now: float
+    kq_id: str
+    keywords: tuple[str, ...]
+    k: int
+    arrival: float
+    user: str = "anon"
+    deadline: float | None = None
+
+
+@_register
+@dataclass(frozen=True)
+class CancelQuery(Message):
+    now: float
+    kq_id: str
+
+
+@_register
+@dataclass(frozen=True)
+class StepTo(Message):
+    """Advance the worker's service to ``until`` (execute, harvest,
+    sweep deadlines, retry deferred)."""
+
+    now: float
+    until: float
+
+
+@_register
+@dataclass(frozen=True)
+class DrainShard(Message):
+    """Finish every admitted query on the worker."""
+
+    now: float
+
+
+@_register
+@dataclass(frozen=True)
+class PumpQuery(Message):
+    """Drive the worker until ``kq_id`` gains an answer or ends (the
+    streaming ``results()`` engine)."""
+
+    now: float
+    kq_id: str
+
+
+@_register
+@dataclass(frozen=True)
+class AnswersSoFar(Message):
+    now: float
+    kq_id: str
+
+
+@_register
+@dataclass(frozen=True)
+class InflightLeader(Message):
+    """Who (if anyone) currently leads this cache key's in-flight
+    execution on the worker -- the coalescing tier's promotion probe."""
+
+    now: float
+    keywords: tuple[str, ...]
+    k: int
+
+
+@_register
+@dataclass(frozen=True)
+class CachePut(Message):
+    """Mirror one authoritative-cache insertion into the worker's
+    local answer cache, so deferred retries and worker-side lookups
+    observe fleet-wide completions just as a shared in-process cache
+    would."""
+
+    now: float
+    keywords: tuple[str, ...]
+    k: int
+    answers: tuple[dict, ...]
+    stored_at: float
+
+
+@_register
+@dataclass(frozen=True)
+class TelemetrySnapshot(Message):
+    """Request the worker's full observability snapshot: telemetry
+    counters and samples, cache/admission stats, engine work counters,
+    and the metric registry's state."""
+
+    now: float
+
+
+@_register
+@dataclass(frozen=True)
+class TraceDump(Message):
+    """Request the worker's recorded trace spans (JSONL lines), for
+    one query (``kq_id``) or all of them (``None``)."""
+
+    now: float
+    kq_id: str | None = None
+
+
+@_register
+@dataclass(frozen=True)
+class Shutdown(Message):
+    now: float = 0.0
+
+
+# replies ---------------------------------------------------------------------
+
+@_register
+@dataclass(frozen=True)
+class SubmitReply(Message):
+    update: WorkerUpdate
+    handle: HandleState
+
+
+@_register
+@dataclass(frozen=True)
+class BoolReply(Message):
+    update: WorkerUpdate
+    value: bool
+
+
+@_register
+@dataclass(frozen=True)
+class AnswersReply(Message):
+    update: WorkerUpdate
+    answers: tuple[dict, ...]
+
+
+@_register
+@dataclass(frozen=True)
+class LeaderReply(Message):
+    update: WorkerUpdate
+    kq_id: str | None
+
+
+@_register
+@dataclass(frozen=True)
+class SnapshotReply(Message):
+    update: WorkerUpdate
+    telemetry: dict
+    cache: dict
+    admission: dict
+    engine: dict
+    registry: dict
+
+
+@_register
+@dataclass(frozen=True)
+class TraceReply(Message):
+    update: WorkerUpdate
+    lines: tuple[str, ...]
+
+
+@_register
+@dataclass(frozen=True)
+class Ack(Message):
+    update: WorkerUpdate
+
+
+# -- wire encoding ------------------------------------------------------------
+
+def _to_jsonable(value: Any) -> Any:
+    if isinstance(value, Message):
+        return {"__msg__": value.kind,
+                **{f.name: _to_jsonable(getattr(value, f.name))
+                   for f in fields(value)}}
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _to_jsonable(v) for k, v in value.items()}
+    return value
+
+
+def _from_jsonable(value: Any) -> Any:
+    if isinstance(value, dict) and "__msg__" in value:
+        kind = value["__msg__"]
+        cls = _KINDS.get(kind)
+        if cls is None:
+            raise ProtocolError(f"unknown message kind {kind!r}")
+        kwargs = {}
+        names = {f.name for f in fields(cls)}
+        for key, raw in value.items():
+            if key == "__msg__":
+                continue
+            if key not in names:
+                raise ProtocolError(
+                    f"unknown field {key!r} for message kind {kind!r}")
+            kwargs[key] = _from_jsonable(raw)
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise ProtocolError(
+                f"bad field set for message kind {kind!r}: {exc}") from exc
+    if isinstance(value, list):
+        return tuple(_from_jsonable(v) for v in value)
+    if isinstance(value, dict):
+        return {k: _from_jsonable(v) for k, v in value.items()}
+    return value
+
+
+def encode(msg: Message) -> bytes:
+    """One message as a self-describing, versioned wire frame."""
+    frame = {"v": WIRE_VERSION, "msg": _to_jsonable(msg)}
+    return json.dumps(frame, separators=(",", ":")).encode("utf-8")
+
+
+def decode(data: bytes) -> Message:
+    """Decode one frame; :class:`ProtocolError` on anything this
+    version of the protocol does not understand."""
+    try:
+        frame = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(frame, dict) or "v" not in frame or "msg" not in frame:
+        raise ProtocolError("frame missing version or message body")
+    if frame["v"] != WIRE_VERSION:
+        raise ProtocolError(
+            f"unsupported wire version {frame['v']!r} "
+            f"(this build speaks {WIRE_VERSION})")
+    msg = _from_jsonable(frame["msg"])
+    if not isinstance(msg, Message):
+        raise ProtocolError("frame body is not a message")
+    return msg

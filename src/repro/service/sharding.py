@@ -41,12 +41,33 @@ worker's own clock has not reached -- the pre-PR-7 per-worker ``_now``
 copies could disagree after a pump, letting the same arrival clamp to
 different instants depending on routing.
 
+Workers come in two transports behind one interface
+(:class:`~repro.service.workers.ShardWorker`): the default
+``workers="inproc"`` keeps every shard in this thread (the
+differential oracle -- byte-identical to the pre-transport service),
+while ``workers="process"`` runs each shard in its own OS process
+behind the serializable message protocol of
+:mod:`repro.service.protocol` -- true hardware parallelism, crash
+isolation (a dead worker fails its queries as ``FAILED``, is
+respawned warm, and traffic reroutes meanwhile), with the front door
+keeping the authoritative answer cache and mirroring completions to
+the sibling workers' local caches.
+
 Typical use::
 
     fleet = ShardedQService(federation, config, n_shards=4,
                             routing="cluster")
     report = fleet.run(generate_load(federation, LoadConfig(...)))
     print(report.render())
+
+    # true parallelism: one process per shard, rebuilt from a spec
+    fleet = ShardedQService(federation, config, n_shards=4,
+                            workers="process",
+                            worker_spec=WorkerSpec.gus(config))
+    try:
+        report = fleet.run(load)
+    finally:
+        fleet.close()
 """
 
 from __future__ import annotations
@@ -61,7 +82,7 @@ from repro.data.inverted import InvertedIndex
 from repro.keyword.candidates import CandidateNetworkGenerator
 from repro.keyword.queries import KeywordQuery, RankedAnswer
 from repro.obs.instruments import MetricsRegistry
-from repro.obs.trace import NO_TRACER, QueryTrace
+from repro.obs.trace import NO_TRACER, QueryTrace, Span
 from repro.optimizer.repository import PlanRepository
 from repro.service.cache import PurgeCadence, ResultCache, normalize_key
 from repro.service.handle import QueryHandle, QueryStatus, run_stream
@@ -69,6 +90,17 @@ from repro.service.reports import ServiceReport, ShardedReport
 from repro.service.routing import RoutingPolicy, make_router
 from repro.service.server import QService, ServiceConfig
 from repro.service.telemetry import Telemetry
+from repro.service.workers import (
+    CacheBackend,
+    InprocWorker,
+    ProcessWorker,
+    ShardWorker,
+    WorkerCrashed,
+    WorkerSpec,
+    encode_execution_config,
+    encode_service_config,
+    traces_from_jsonl,
+)
 
 __all__ = [
     "RoutingStats",
@@ -88,6 +120,8 @@ class RoutingStats:
     #: Queries pinned to an in-flight twin's shard instead of the
     #: policy's pick, so the worker-level coalescing can catch them.
     affinity_overrides: int = 0
+    #: Queries moved off a dead worker's shard to a surviving one.
+    crash_reroutes: int = 0
 
     def snapshot(self) -> dict[str, float]:
         out = {f"shard{i}_routed": float(n)
@@ -95,6 +129,7 @@ class RoutingStats:
         out["spillovers"] = float(self.spillovers)
         out["front_cache_hits"] = float(self.front_cache_hits)
         out["affinity_overrides"] = float(self.affinity_overrides)
+        out["crash_reroutes"] = float(self.crash_reroutes)
         return out
 
 
@@ -112,10 +147,18 @@ class ShardedQService:
                  index: InvertedIndex | None = None,
                  registry: MetricsRegistry | None = None,
                  tracer=None,
-                 clock: Clock | None = None) -> None:
+                 clock: Clock | None = None,
+                 workers: str = "inproc",
+                 worker_spec: WorkerSpec | None = None,
+                 restart_workers: bool = True,
+                 start_method: str = "spawn") -> None:
         if n_shards <= 0:
             raise ValueError(f"n_shards must be positive, got {n_shards}")
+        if workers not in ("inproc", "process"):
+            raise ValueError(
+                f"workers must be 'inproc' or 'process', got {workers!r}")
         self.n_shards = n_shards
+        self.worker_transport = workers
         #: One clock for the whole fleet (see the module docstring):
         #: front door and every worker read -- and advance -- the same
         #: instance, so "now" is a fleet-wide fact.
@@ -143,23 +186,59 @@ class ShardedQService:
         self.generator = generator or CandidateNetworkGenerator(
             federation, index=self.index, max_cqs=config.max_cqs_per_uq,
             repository=self.repository)
-        self.cache = ResultCache(ttl=self.service_config.cache_ttl,
-                                 capacity=self.service_config.cache_capacity)
+        #: The authoritative answer cache (a :class:`~repro.service.
+        #: workers.CacheBackend`): consulted at the front door before
+        #: routing, written on every engine completion anywhere.
+        self.cache: CacheBackend = ResultCache(
+            ttl=self.service_config.cache_ttl,
+            capacity=self.service_config.cache_capacity)
         self.router = make_router(
             routing,
             merge_threshold=config.cluster_jaccard,
             min_refs=config.cluster_min_refs,
         )
-        self.workers = [
-            QService(federation, config, service=self.service_config,
-                     generator=self.generator, index=self.index,
-                     cache=self.cache, repository=self.repository,
-                     tracer=self.tracer, clock=self.clock)
-            for _ in range(n_shards)
-        ]
         #: Front-door telemetry: arrivals served by the shared cache
-        #: tier never reach a shard, so their latencies live here.
+        #: tier never reach a shard, so their latencies live here --
+        #: plus the fleet's ``failed``/``worker_restarts`` crash
+        #: counters (worker snapshots can lag a crash; the front door
+        #: cannot).
         self.telemetry = Telemetry(self.registry)
+        #: Every (keywords, k) template routed so far, for warm-up
+        #: shipping to (re)spawned process workers.
+        self._seen_templates: set[tuple[tuple[str, ...], int]] = set()
+        self.workers: list[ShardWorker]
+        if workers == "process":
+            spec = worker_spec
+            if spec is None:
+                raise ValueError(
+                    "process workers need a worker_spec (a serializable "
+                    "recipe to rebuild the federation in each worker)")
+            # The fleet's execution/service configs and tracing flag
+            # are authoritative; the spec only has to know the corpus.
+            spec = replace(
+                spec,
+                config=encode_execution_config(config),
+                service=encode_service_config(self.service_config),
+                trace=bool(self.tracer.enabled))
+            self.workers = [
+                ProcessWorker(i, spec, clock=self.clock,
+                              front_telemetry=self.telemetry,
+                              service_ref=self,
+                              on_completion=self._on_worker_completion,
+                              warm_templates=self._warm_templates,
+                              restart=restart_workers,
+                              start_method=start_method)
+                for i in range(n_shards)
+            ]
+        else:
+            self.workers = [
+                InprocWorker(QService(
+                    federation, config, service=self.service_config,
+                    generator=self.generator, index=self.index,
+                    cache=self.cache, repository=self.repository,
+                    tracer=self.tracer, clock=self.clock))
+                for _ in range(n_shards)
+            ]
         self.registry.add_collector(self._publish_metrics)
         self.routing_stats = RoutingStats(policy=self.router.name,
                                           routed=[0] * n_shards)
@@ -227,17 +306,16 @@ class ShardedQService:
                                                      answers=[],
                                                      reason=str(exc))
             shard = self.router.route(kq, uq, self.n_shards)
+            shard = self._reroute_dead(shard)
             shard = self._spill(shard)
-        self.routing_stats.routed[shard] += 1
+        self._seen_templates.add((tuple(sorted(kq.keywords)), kq.k))
         if tr.enabled:
             tr.event(kq.kq_id, "route", at, shard=shard,
                      policy=self.router.name,
                      **({"coalesce_pin": True}
                         if leader_shard is not None else {}))
-        handle = self.workers[shard].submit(kq, arrival=at,
-                                            deadline=deadline, uq=uq,
-                                            check_cache=False)
-        handle.shard = shard
+        handle = self._submit_to(shard, kq, at, deadline, uq)
+        self.routing_stats.routed[handle.shard] += 1
         self.tickets.append(handle)
         if (self.service_config.coalesce
                 and key not in self._inflight_leaders
@@ -294,6 +372,53 @@ class ShardedQService:
                 **({"reason": reason} if reason else {}))
         return handle
 
+    def _submit_to(self, shard: int, kq: KeywordQuery, at: float,
+                   deadline: float | None, uq) -> QueryHandle:
+        """Hand the query to ``shard``, rerouting to a surviving shard
+        if the worker crashes mid-submit (its in-flight queries are
+        already failed by then; this arrival is not among them and
+        deserves a live worker)."""
+        tried: set[int] = set()
+        for _attempt in range(self.n_shards + 1):
+            try:
+                handle = self.workers[shard].submit(kq, at,
+                                                    deadline=deadline, uq=uq)
+            except WorkerCrashed:
+                tried.add(shard)
+                candidates = [i for i in range(self.n_shards)
+                              if i not in tried and self.workers[i].alive]
+                if not candidates:
+                    # Every shard crashed under this one query; a
+                    # respawned worker (``alive`` again) gets one last
+                    # chance below, otherwise give up.
+                    candidates = [i for i in range(self.n_shards)
+                                  if self.workers[i].alive]
+                    if not candidates:
+                        raise
+                self.routing_stats.crash_reroutes += 1
+                shard = min(candidates,
+                            key=lambda i:
+                            (self.workers[i].in_flight_count, i))
+                continue
+            handle.shard = shard
+            return handle
+        raise WorkerCrashed(
+            f"submit of {kq.kq_id} crashed every worker it reached")
+
+    def _reroute_dead(self, shard: int) -> int:
+        """Routing is crash-aware: a policy pick landing on a dead
+        worker (restarts exhausted or disabled) moves to the
+        least-loaded surviving shard."""
+        if self.workers[shard].alive:
+            return shard
+        candidates = [i for i in range(self.n_shards)
+                      if self.workers[i].alive]
+        if not candidates:
+            raise WorkerCrashed("every shard's worker is dead")
+        self.routing_stats.crash_reroutes += 1
+        return min(candidates,
+                   key=lambda i: (self.workers[i].in_flight_count, i))
+
     def _spill(self, shard: int) -> int:
         """Shard-aware admission: prefer the routed shard, but when its
         in-flight budget is exhausted hand the query to the least-loaded
@@ -305,7 +430,10 @@ class ShardedQService:
             return shard
         if self.workers[shard].in_flight_count < budget:
             return shard
-        best = min(range(self.n_shards),
+        alive = [i for i in range(self.n_shards) if self.workers[i].alive]
+        if not alive:
+            return shard
+        best = min(alive,
                    key=lambda i: (self.workers[i].in_flight_count, i))
         if best != shard and self.workers[best].in_flight_count < budget:
             self.routing_stats.spillovers += 1
@@ -349,8 +477,23 @@ class ShardedQService:
         quarter-TTL cadence."""
         self.clock.advance_to(until)
         now = self._now
+        # Split-phase broadcast: start every shard's step, then collect
+        # every shard's completion -- process workers genuinely overlap
+        # here, in-process workers do all the work in the start phase
+        # (preserving the sequential oracle's order bit-for-bit).  A
+        # worker crashing mid-step fails its own queries and is skipped;
+        # the surviving shards' steps complete normally.
         for worker in self.workers:
-            worker.step(now)
+            if worker.alive:
+                try:
+                    worker.start_step(now)
+                except WorkerCrashed:
+                    pass
+        for worker in self.workers:
+            try:
+                worker.finish_step()
+            except WorkerCrashed:
+                pass
         self._cadence.fire(self._now)
         # Keep the in-flight registry proportional to what is actually
         # in flight: resolved leaders are pruned lazily on same-key
@@ -377,9 +520,21 @@ class ShardedQService:
         clock to its drained engine's time, so post-drain submissions
         are clamped past everything already recorded (and past the
         shared cache's newest entries) without any front-door
-        aggregation step."""
+        aggregation step.  Under process workers the drains genuinely
+        overlap (start all, then collect all) -- this is where the
+        wall-clock scaling lives, since drain does the bulk of the
+        engine work under saturation."""
         for worker in self.workers:
-            worker.drain()
+            if worker.alive:
+                try:
+                    worker.start_drain()
+                except WorkerCrashed:
+                    pass
+        for worker in self.workers:
+            try:
+                worker.finish_drain()
+            except WorkerCrashed:
+                pass
         self._cadence.fire(self._now)
         return self.report()
 
@@ -387,7 +542,7 @@ class ShardedQService:
         shard_reports: list[ServiceReport] = [
             worker.report() for worker in self.workers]
         fleet = Telemetry.merged(
-            [self.telemetry] + [worker.telemetry for worker in self.workers])
+            [self.telemetry] + [r.telemetry for r in shard_reports])
         return ShardedReport(
             telemetry=fleet,
             cache_stats=self.cache.stats.snapshot(),
@@ -413,13 +568,77 @@ class ShardedQService:
         exactly one owner, the merge never double counts."""
         return MetricsRegistry.merged(
             [(self.registry, {})]
-            + [(worker.registry, {"shard": str(i)})
+            + [(worker.registry_view(), {"shard": str(i)})
                for i, worker in enumerate(self.workers)])
 
     def trace_of(self, handle: QueryHandle) -> QueryTrace | None:
-        """The handle's span tree -- front-door and worker spans share
-        one trace (``None`` when tracing is off)."""
-        return self.tracer.trace(handle.kq_id)
+        """The handle's span tree (``None`` when tracing is off).
+
+        In-process workers join the fleet's shared tracer, so the
+        front-door trace already holds the worker spans.  A process
+        worker records its spans in its own tracer; they are fetched
+        on demand and merged under a fresh copy of the front-door
+        root, leaving both recorders untouched."""
+        front = self.tracer.trace(handle.kq_id)
+        if (self.worker_transport != "process" or handle.shard is None
+                or not self.tracer.enabled):
+            return front
+        lines = self.workers[handle.shard].trace_lines(handle.kq_id)
+        worker_traces = traces_from_jsonl(lines)
+        if not worker_traces:
+            return front
+        theirs = worker_traces[-1]
+        if front is None:
+            return theirs
+        root = front.root
+        merged_root = Span(name=root.name, v_start=root.v_start,
+                           v_end=root.v_end, w_start=root.w_start,
+                           w_end=root.w_end, attrs=dict(root.attrs),
+                           children=list(root.children))
+        merged_root.children.extend(theirs.root.children)
+        for key, value in theirs.root.attrs.items():
+            merged_root.attrs.setdefault(key, value)
+        if merged_root.v_end is None:
+            merged_root.v_end = theirs.root.v_end
+            merged_root.w_end = theirs.root.w_end
+        merged = QueryTrace(handle.kq_id, merged_root)
+        merged.finished = front.finished or theirs.finished
+        return merged
+
+    # -- worker-fleet plumbing -------------------------------------------------
+
+    def _warm_templates(self) -> list[tuple[tuple[str, ...], int]]:
+        """Every (keywords, k) template routed so far -- a respawned
+        worker pre-expands these to re-prime its plan repository."""
+        return sorted(self._seen_templates)
+
+    def _on_worker_completion(self, origin, key, answers,
+                              completed_at: float) -> None:
+        """A process worker completed a query via its engine: write
+        the authoritative cache and mirror to the sibling workers (the
+        origin already has it in its local cache)."""
+        self.cache.put(key, answers, now=completed_at)
+        for worker in self.workers:
+            if worker is not origin and worker.alive:
+                worker.enqueue_cache_put(key, answers, completed_at)
+
+    def close(self) -> None:
+        """Shut the worker fleet down.  Process workers first ship
+        their recorded trace spans back (adopted into the fleet
+        tracer, so ``--trace-dir`` exports include worker spans), then
+        exit; in-process workers are no-ops.  Idempotent."""
+        for worker in self.workers:
+            if (self.tracer.enabled and worker.alive
+                    and worker.transport == "process"):
+                for trace in traces_from_jsonl(worker.trace_lines(None)):
+                    self.tracer.adopt(trace)
+            worker.close()
+
+    def __enter__(self) -> "ShardedQService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _publish_metrics(self) -> None:
         """Collector for the tiers only the front door owns: the

@@ -106,6 +106,7 @@ class Telemetry:
     COUNTER_FIELDS = (
         "submitted", "completed", "served_from_cache", "coalesced",
         "rejected", "deferred", "cancelled", "expired", "no_results",
+        "failed", "worker_restarts",
         "optimizer_wall", "optimizer_invocations", "plans_explored",
         "plan_cache_hits", "plan_cache_misses", "plan_delta_grafts",
     )
@@ -119,6 +120,13 @@ class Telemetry:
     cancelled = _CounterField("_cancelled")
     expired = _CounterField("_expired")
     no_results = _CounterField("_no_results")
+    #: Queries lost to infrastructure failure (a worker process died
+    #: with them in flight) -- a fifth terminal disposition, distinct
+    #: from the four client-visible ones above because nothing the
+    #: client did caused it.
+    failed = _CounterField("_failed")
+    #: Worker processes respawned after a crash.
+    worker_restarts = _CounterField("_worker_restarts")
     #: Optimizer visibility, synced from the engine's per-invocation
     #: records (absolute totals, overwritten on every sync -- so the
     #: sync is idempotent and a merged fleet view simply sums shards).
@@ -154,6 +162,12 @@ class Telemetry:
         self._no_results = r.counter(
             "repro_service_no_results_total",
             "queries no candidate network could answer")
+        self._failed = r.counter(
+            "repro_service_failed_total",
+            "queries lost to a worker-process crash")
+        self._worker_restarts = r.counter(
+            "repro_service_worker_restarts_total",
+            "worker processes respawned after a crash")
         self._optimizer_wall = r.counter(
             "repro_optimizer_wall_seconds_total",
             "measured optimizer wall time")
@@ -246,6 +260,14 @@ class Telemetry:
     def record_no_results(self) -> None:
         self.no_results += 1
 
+    def record_failure(self, at: float) -> None:
+        """One query lost to a worker-process crash."""
+        self.failed += 1
+        self.last_event = max(self.last_event, at)
+
+    def record_worker_restart(self) -> None:
+        self.worker_restarts += 1
+
     def sync_optimizer(self, records: Iterable) -> None:
         """Refresh the optimizer totals from the engine's cumulative
         :class:`~repro.obs.records.OptimizerRecord` list.  Absolute
@@ -258,6 +280,38 @@ class Telemetry:
         self.plan_cache_hits = sum(r.cache_hits for r in records)
         self.plan_cache_misses = sum(r.cache_misses for r in records)
         self.plan_delta_grafts = sum(r.delta_grafts for r in records)
+
+    # -- wire state ----------------------------------------------------------
+
+    def state(self) -> dict:
+        """Everything :meth:`merged` consumes, as plain JSON-able data
+        -- the form a process worker ships its telemetry across the
+        wire in (:class:`~repro.service.protocol.SnapshotReply`)."""
+        return {
+            "counters": {name: getattr(self, name)
+                         for name in self.COUNTER_FIELDS},
+            "latencies": list(self.latencies),
+            "ttfas": list(self.ttfas),
+            "first_arrival": self.first_arrival,
+            "last_event": self.last_event,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict,
+                   registry: MetricsRegistry | None = None) -> "Telemetry":
+        """Rebuild a telemetry from :meth:`state` output.  Counter
+        names the state does not carry stay zero; unknown names are
+        rejected (they would silently vanish from every merge)."""
+        out = cls(registry)
+        for name, value in state.get("counters", {}).items():
+            if name not in cls.COUNTER_FIELDS:
+                raise ValueError(f"unknown telemetry counter {name!r}")
+            setattr(out, name, value)
+        out.latencies.extend(state.get("latencies", ()))
+        out.ttfas.extend(state.get("ttfas", ()))
+        out.first_arrival = state.get("first_arrival")
+        out.last_event = state.get("last_event", 0.0)
+        return out
 
     # -- merging -------------------------------------------------------------
 
@@ -356,6 +410,8 @@ class Telemetry:
             "cancelled": float(self.cancelled),
             "expired": float(self.expired),
             "no_results": float(self.no_results),
+            "failed": float(self.failed),
+            "worker_restarts": float(self.worker_restarts),
             "elapsed_virtual_s": self.elapsed(),
             "throughput_qps": self.throughput(),
             "mean_latency": self.mean_latency(),
@@ -379,7 +435,10 @@ class Telemetry:
             f"({self.served_from_cache} from cache, "
             f"{self.coalesced} coalesced, {self.rejected} rejected, "
             f"{self.deferred} deferred, {self.cancelled} cancelled, "
-            f"{self.expired} expired, {self.no_results} empty)",
+            f"{self.expired} expired, {self.no_results} empty"
+            + (f", {self.failed} failed after "
+               f"{self.worker_restarts} worker restarts"
+               if self.failed or self.worker_restarts else "") + ")",
             f"latency   : p50 {fmt_stat(pcts['p50'], 's')}  "
             f"p95 {fmt_stat(pcts['p95'], 's')}  "
             f"p99 {fmt_stat(pcts['p99'], 's')}  "

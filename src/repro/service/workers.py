@@ -1,0 +1,1025 @@
+"""Shard workers: one interface, two transports.
+
+The sharded front door (:mod:`repro.service.sharding`) used to *be*
+its workers -- a list of :class:`~repro.service.server.QService`
+instances it called directly, all in one Python thread, so ``--shards``
+bought isolation and routing policy but zero hardware parallelism.
+This module makes the shard boundary explicit:
+
+* :class:`ShardWorker` -- the narrow interface the front door drives:
+  submit / cancel / answers-so-far / pump / step / drain / report,
+  plus crash surface (``alive``) and observability views.  Step and
+  drain are *split-phase* (``start_step`` then ``finish_step``): the
+  front door first starts every shard, then collects every shard, so
+  process workers genuinely overlap while in-process workers preserve
+  the byte-identical sequential order of the differential oracle.
+* :class:`InprocWorker` -- the existing engine behind the interface
+  (default).  Shares the fleet clock, cache, plan repository, and
+  tracer exactly as before; the virtual-clock differential tests see
+  bit-for-bit identical behaviour.
+* :class:`ProcessWorker` -- a ``multiprocessing`` worker.  Spawn-safe:
+  the child rebuilds its engine from a serializable
+  :class:`WorkerSpec` (corpus recipe + configs + seed), never from
+  pickled object graphs, and speaks the versioned wire protocol of
+  :mod:`repro.service.protocol` over a pipe.  Time crosses the
+  boundary *by message*: every request carries the fleet's ``now``,
+  every reply the worker's, so the fleet's single-"now" invariant
+  holds at message granularity under virtual and wall clocks alike.
+
+Cache and repository topology under process workers: the front door
+keeps the *authoritative* answer cache (a :class:`CacheBackend`) --
+it is consulted before routing, exactly as before -- while each worker
+owns a per-process cache and plan repository (:class:`RepositoryBackend`).
+Engine completions ship back in each reply's piggy-backed
+:class:`~repro.service.protocol.WorkerUpdate`; the front door writes
+them into the authoritative cache and mirrors them to the *other*
+workers as :class:`~repro.service.protocol.CachePut` messages (flushed
+before each worker's next request), so deferred retries observe
+fleet-wide completions just as a shared in-process cache would.  Plan
+warm-up is template-keyed: the front door remembers every
+``(keywords, k)`` template it routed, and a (re)spawned worker
+pre-expands them to prime its local repository.
+
+Crash surface: a worker process dying (broken pipe, nonzero exit)
+fails that shard's in-flight queries with a ``FAILED`` disposition
+(reason names the crash) instead of hanging the harvest loop, counts
+``worker_restarts`` in the front door's telemetry, respawns the worker
+(warm templates included) when restarts are enabled, and the front
+door reroutes subsequent traffic to surviving shards meanwhile.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+from collections import deque
+from collections.abc import Callable, Iterable
+from dataclasses import asdict, dataclass, replace
+from typing import Protocol, runtime_checkable
+
+from repro.atc.engine import EngineReport
+from repro.common.clock import Clock, VirtualClock
+from repro.common.config import DelayModel, ExecutionConfig, SharingMode
+from repro.common.errors import ExecutionError, ReproError
+from repro.data.figure1 import figure1_federation
+from repro.data.gus import GUSConfig, gus_federation
+from repro.keyword.queries import KeywordQuery, RankedAnswer
+from repro.obs.instruments import MetricsRegistry
+from repro.obs.records import Metrics
+from repro.obs.trace import QueryTrace, Span, Tracer
+from repro.service.cache import CacheKey, normalize_key
+from repro.service.handle import QueryHandle, QueryStatus
+from repro.service.protocol import (
+    Ack,
+    AnswersReply,
+    AnswersSoFar,
+    BoolReply,
+    CachePut,
+    CancelQuery,
+    DrainShard,
+    HandleState,
+    InflightLeader,
+    LeaderReply,
+    Message,
+    ProtocolError,
+    PumpQuery,
+    Shutdown,
+    SnapshotReply,
+    StepTo,
+    SubmitQuery,
+    SubmitReply,
+    TelemetrySnapshot,
+    TraceDump,
+    TraceReply,
+    WorkerUpdate,
+    decode,
+    decode_answers,
+    encode,
+    encode_answers,
+)
+from repro.service.reports import ServiceReport
+from repro.service.server import QService, ServiceConfig
+from repro.service.telemetry import Telemetry
+
+__all__ = [
+    "CacheBackend",
+    "RepositoryBackend",
+    "ShardWorker",
+    "InprocWorker",
+    "ProcessWorker",
+    "WorkerCrashed",
+    "WorkerSpec",
+    "encode_execution_config",
+    "decode_execution_config",
+    "encode_service_config",
+    "decode_service_config",
+    "metrics_state",
+    "metrics_from_state",
+    "traces_from_jsonl",
+]
+
+
+class WorkerCrashed(ExecutionError):
+    """A shard's worker process died (broken pipe / nonzero exit).
+
+    Raised to the front door mid-operation; the queries that were in
+    flight on the dead worker are already failed (``FAILED``
+    disposition) by the time this propagates."""
+
+
+# -- narrow backend interfaces ------------------------------------------------
+
+@runtime_checkable
+class CacheBackend(Protocol):
+    """What the serving tier needs from an answer cache.
+
+    :class:`~repro.service.cache.ResultCache` is the in-memory
+    implementation; the interface is what an external backend (the
+    ROADMAP's Redis-style tier) must provide.  ``ttl`` and
+    ``purge_expired`` exist so :class:`~repro.service.cache.
+    PurgeCadence` can groom any backend on the owner's schedule.
+    """
+
+    ttl: float
+
+    def get(self, key: CacheKey, now: float,
+            record: bool = True) -> list[RankedAnswer] | None: ...
+
+    def put(self, key: CacheKey, answers: list[RankedAnswer],
+            now: float) -> None: ...
+
+    def purge_expired(self, now: float) -> int: ...
+
+    def __len__(self) -> int: ...
+
+
+@runtime_checkable
+class RepositoryBackend(Protocol):
+    """What the intake/optimize pipeline needs from a plan repository
+    (:class:`~repro.optimizer.repository.PlanRepository` is the
+    in-memory implementation; ``stats`` feeds the owner's metrics)."""
+
+    def lookup_expansion(self, keywords: tuple[str, ...]): ...
+
+    def store_expansion(self, keywords: tuple[str, ...], value) -> None: ...
+
+    def optimize(self, uqs: list, scope: str, **kwargs): ...
+
+
+# -- serializable configuration ----------------------------------------------
+
+def encode_execution_config(config: ExecutionConfig) -> dict:
+    """An :class:`~repro.common.config.ExecutionConfig` as plain JSON
+    data (the mode travels by enum value, delays nested)."""
+    payload = asdict(config)
+    payload["mode"] = config.mode.value
+    return payload
+
+
+def decode_execution_config(payload: dict) -> ExecutionConfig:
+    payload = dict(payload)
+    payload["mode"] = SharingMode(payload["mode"])
+    payload["delays"] = DelayModel(**dict(payload["delays"]))
+    return ExecutionConfig(**payload)
+
+
+def encode_service_config(config: ServiceConfig) -> dict:
+    return asdict(config)
+
+
+def decode_service_config(payload: dict) -> ServiceConfig:
+    return ServiceConfig(**dict(payload))
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker *process* needs to rebuild its engine,
+    as plain data: a corpus recipe (never a pickled federation), the
+    execution and service configs, a tracing flag, and the warm-up
+    templates to pre-expand into the fresh plan repository.
+
+    The corpus recipe names one of the deterministic generators --
+    ``{"kind": "gus", ...GUSConfig fields}`` or ``{"kind": "figure1",
+    "seed": ..., "cardinalities": ..., "domain_factor": ...}`` -- so a
+    spawned worker reconstructs *exactly* the federation the front
+    door serves (same generator, same seed, same rows).
+    """
+
+    corpus: dict
+    config: dict
+    service: dict | None = None
+    trace: bool = False
+    #: ``(keywords, k)`` templates to pre-expand at boot (template-
+    #: keyed warm-up shipping: primes the per-process plan repository
+    #: with the fleet's already-seen templates after a respawn).
+    warm_templates: tuple = ()
+
+    @classmethod
+    def gus(cls, config: ExecutionConfig,
+            gus_config: GUSConfig | None = None,
+            service: ServiceConfig | None = None) -> "WorkerSpec":
+        corpus = {"kind": "gus", **asdict(gus_config or GUSConfig())}
+        return cls(corpus=corpus, config=encode_execution_config(config),
+                   service=None if service is None
+                   else encode_service_config(service))
+
+    @classmethod
+    def figure1(cls, config: ExecutionConfig, *, seed: int = 7,
+                cardinalities: dict[str, int] | None = None,
+                domain_factor: float = 0.25,
+                service: ServiceConfig | None = None) -> "WorkerSpec":
+        corpus = {"kind": "figure1", "seed": seed,
+                  "cardinalities": dict(cardinalities)
+                  if cardinalities is not None else None,
+                  "domain_factor": domain_factor}
+        return cls(corpus=corpus, config=encode_execution_config(config),
+                   service=None if service is None
+                   else encode_service_config(service))
+
+    # -- reconstruction -----------------------------------------------------
+
+    def build_federation(self):
+        corpus = dict(self.corpus)
+        kind = corpus.pop("kind", None)
+        if kind == "gus":
+            return gus_federation(GUSConfig(**corpus))
+        if kind == "figure1":
+            return figure1_federation(
+                seed=corpus.get("seed", 7),
+                cardinalities=corpus.get("cardinalities"),
+                domain_factor=corpus.get("domain_factor", 0.25))
+        raise ValueError(f"unknown corpus kind {kind!r}")
+
+    def execution_config(self) -> ExecutionConfig:
+        return decode_execution_config(self.config)
+
+    def service_config(self) -> ServiceConfig | None:
+        return None if self.service is None \
+            else decode_service_config(self.service)
+
+    # -- wire ---------------------------------------------------------------
+
+    def to_wire(self) -> bytes:
+        return json.dumps(asdict(self), separators=(",", ":"),
+                          sort_keys=True).encode("utf-8")
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "WorkerSpec":
+        payload = json.loads(data.decode("utf-8"))
+        payload["warm_templates"] = tuple(
+            (tuple(keywords), int(k))
+            for keywords, k in payload.get("warm_templates", ()))
+        return cls(**payload)
+
+
+# -- engine-metrics wire state ------------------------------------------------
+
+_METRIC_SCALARS = (
+    "stream_read_time", "random_access_time", "join_time",
+    "stream_tuples_read", "probes_performed", "probe_cache_hits",
+    "join_probes", "tuples_inserted", "tuples_output", "tuples_reused",
+    "splits_routed", "evictions", "recovery_queries",
+)
+
+
+def metrics_state(metrics: Metrics) -> dict:
+    """The engine work counters as plain data (per-query records stay
+    on the worker; the fleet view needs the totals)."""
+    state = {name: getattr(metrics, name) for name in _METRIC_SCALARS}
+    state["per_source_reads"] = dict(metrics.per_source_reads)
+    return state
+
+
+def metrics_from_state(state: dict) -> Metrics:
+    metrics = Metrics(**{name: state.get(name, 0)
+                         for name in _METRIC_SCALARS})
+    metrics.per_source_reads.update(state.get("per_source_reads", {}))
+    return metrics
+
+
+# -- trace rebuilding ---------------------------------------------------------
+
+def traces_from_jsonl(lines: Iterable[str]) -> list[QueryTrace]:
+    """Rebuild span trees from a worker's JSONL trace dump (the exact
+    lines :meth:`~repro.obs.trace.Tracer.jsonl_lines` emitted: parents
+    precede children, each trace's root carries ``parent: null``)."""
+    traces: list[QueryTrace] = []
+    spans: dict[int, Span] = {}
+    for line in lines:
+        rec = json.loads(line)
+        span = Span(name=rec["name"], v_start=rec["virtual_start"],
+                    v_end=rec["virtual_end"], w_start=rec["wall_start"],
+                    w_end=rec["wall_end"], attrs=dict(rec["attrs"] or {}))
+        if rec["parent"] is None:
+            spans = {rec["span"]: span}
+            trace = QueryTrace(rec["query"], span)
+            trace.finished = span.attrs.get("disposition") is not None
+            traces.append(trace)
+        else:
+            spans[rec["parent"]].children.append(span)
+            spans[rec["span"]] = span
+    return traces
+
+
+# -- the worker interface -----------------------------------------------------
+
+@runtime_checkable
+class ShardWorker(Protocol):
+    """The narrow surface the sharded front door drives.
+
+    ``start_step``/``finish_step`` (and the drain pair) are
+    split-phase so N process workers overlap: the front door starts
+    every shard's step, then collects every shard's completion.  The
+    in-process transport does all its work in the start phase, keeping
+    the sequential order of the single-threaded service bit-for-bit.
+    """
+
+    transport: str
+
+    @property
+    def alive(self) -> bool: ...
+
+    def submit(self, kq: KeywordQuery, at: float, *,
+               deadline: float | None = None,
+               uq=None) -> QueryHandle: ...
+
+    def cancel(self, handle: QueryHandle) -> bool: ...
+
+    def answers_so_far(self, handle: QueryHandle) -> list[RankedAnswer]: ...
+
+    def pump(self, handle: QueryHandle) -> bool: ...
+
+    def inflight_handle(self, key: CacheKey) -> QueryHandle | None: ...
+
+    def start_step(self, until: float) -> None: ...
+
+    def finish_step(self) -> None: ...
+
+    def start_drain(self) -> None: ...
+
+    def finish_drain(self) -> None: ...
+
+    @property
+    def in_flight_count(self) -> int: ...
+
+    @property
+    def deferred_count(self) -> int: ...
+
+    def enqueue_cache_put(self, key: CacheKey,
+                          answers: list[RankedAnswer],
+                          stored_at: float) -> None: ...
+
+    def report(self) -> ServiceReport: ...
+
+    def registry_view(self) -> MetricsRegistry: ...
+
+    def trace_lines(self, kq_id: str | None = None) -> tuple[str, ...]: ...
+
+    def close(self) -> None: ...
+
+
+class InprocWorker:
+    """The existing in-process engine behind the :class:`ShardWorker`
+    interface -- a thin veneer over one :class:`~repro.service.server.
+    QService` sharing the fleet's clock, cache, repository, and tracer.
+    Unknown attributes forward to the wrapped service, so everything
+    that reached into ``fleet.workers[i].engine`` keeps working."""
+
+    transport = "inproc"
+
+    def __init__(self, service: QService) -> None:
+        self.service = service
+
+    @property
+    def alive(self) -> bool:
+        return True
+
+    # -- the query surface ---------------------------------------------------
+
+    def submit(self, kq: KeywordQuery, at: float, *,
+               deadline: float | None = None, uq=None) -> QueryHandle:
+        return self.service.submit(kq, arrival=at, deadline=deadline,
+                                   uq=uq, check_cache=False)
+
+    def cancel(self, handle: QueryHandle) -> bool:
+        return self.service.cancel(handle)
+
+    def answers_so_far(self, handle: QueryHandle) -> list[RankedAnswer]:
+        return self.service.answers_so_far(handle)
+
+    def pump(self, handle: QueryHandle) -> bool:
+        return self.service.pump(handle)
+
+    def inflight_handle(self, key: CacheKey) -> QueryHandle | None:
+        return self.service.inflight_handle(key)
+
+    # -- split-phase progress (all work in the start phase: sequential) ------
+
+    def start_step(self, until: float) -> None:
+        self.service.step(until)
+
+    def finish_step(self) -> None:
+        pass
+
+    def start_drain(self) -> None:
+        self.service.drain()
+
+    def finish_drain(self) -> None:
+        pass
+
+    @property
+    def in_flight_count(self) -> int:
+        return self.service.in_flight_count
+
+    @property
+    def deferred_count(self) -> int:
+        return self.service.deferred_count
+
+    def enqueue_cache_put(self, key, answers, stored_at) -> None:
+        # The worker shares the fleet's authoritative cache: every
+        # completion is already visible, nothing to mirror.
+        pass
+
+    # -- observability -------------------------------------------------------
+
+    def report(self) -> ServiceReport:
+        return self.service.report()
+
+    def registry_view(self) -> MetricsRegistry:
+        return self.service.registry
+
+    def trace_lines(self, kq_id: str | None = None) -> tuple[str, ...]:
+        # Worker spans already live in the fleet's shared tracer.
+        return ()
+
+    def close(self) -> None:
+        pass
+
+    def __getattr__(self, name: str):
+        return getattr(self.service, name)
+
+
+# -- the worker process -------------------------------------------------------
+
+def _worker_main(conn, spec_wire: bytes) -> None:
+    """Spawn entry point: rebuild the engine from the spec and serve
+    the wire protocol until shutdown or front-door death."""
+    try:
+        server = _WorkerServer(WorkerSpec.from_wire(spec_wire))
+        server.serve(conn)
+    finally:
+        conn.close()
+
+
+class _WorkerServer:
+    """The worker-process side of the protocol: one local
+    :class:`QService` on a private virtual clock (mirroring fleet
+    instants carried by messages), plus the dirty-handle tracker that
+    turns status changes into piggy-backed events."""
+
+    def __init__(self, spec: WorkerSpec) -> None:
+        federation = spec.build_federation()
+        config = spec.execution_config()
+        self.tracer = Tracer() if spec.trace else None
+        self.service = QService(federation, config,
+                                service=spec.service_config(),
+                                tracer=self.tracer, clock=VirtualClock())
+        self._warm(spec.warm_templates)
+        #: Every handle ever admitted (terminal ones stay addressable
+        #: for answers-so-far / pump replies).
+        self._handles: dict[str, QueryHandle] = {}
+        #: Non-terminal handles we owe events for, and the last state
+        #: fingerprint reported for each.
+        self._watched: dict[str, QueryHandle] = {}
+        self._reported: dict[str, tuple] = {}
+
+    def _warm(self, templates: Iterable) -> None:
+        for i, (keywords, k) in enumerate(templates):
+            if not keywords:
+                continue
+            try:
+                self.service.engine.generator.generate(
+                    KeywordQuery(kq_id=f"warm-{i}",
+                                 keywords=tuple(keywords), k=int(k)))
+            except ReproError:
+                continue
+
+    # -- event tracking ------------------------------------------------------
+
+    @staticmethod
+    def _fingerprint(handle: QueryHandle) -> tuple:
+        return (handle.status.value, handle.via, handle.uq_id,
+                handle.completed_at, handle.reason)
+
+    @staticmethod
+    def _state_of(handle: QueryHandle) -> HandleState:
+        return HandleState(
+            kq_id=handle.kq_id,
+            status=handle.status.value,
+            via=handle.via,
+            uq_id=handle.uq_id,
+            answers=encode_answers(handle.answers)
+            if handle.terminal else None,
+            completed_at=handle.completed_at,
+            reason=handle.reason,
+            deadline=handle.deadline,
+            arrival=handle.arrival,
+        )
+
+    def _update(self) -> WorkerUpdate:
+        events = []
+        for kq_id in list(self._watched):
+            handle = self._watched[kq_id]
+            fp = self._fingerprint(handle)
+            if fp == self._reported.get(kq_id):
+                continue
+            self._reported[kq_id] = fp
+            events.append(self._state_of(handle))
+            if handle.terminal:
+                del self._watched[kq_id]
+        svc = self.service
+        return WorkerUpdate(now=svc.clock.now,
+                            in_flight=svc.in_flight_count,
+                            deferred=svc.deferred_count,
+                            events=tuple(events))
+
+    # -- the request loop ----------------------------------------------------
+
+    def serve(self, conn) -> None:
+        while True:
+            try:
+                data = conn.recv_bytes()
+            except EOFError:
+                return  # front door went away; nothing left to serve
+            msg = decode(data)
+            reply = self.dispatch(msg)
+            conn.send_bytes(encode(reply))
+            if isinstance(msg, Shutdown):
+                return
+
+    def dispatch(self, msg: Message) -> Message:
+        svc = self.service
+        if isinstance(msg, SubmitQuery):
+            kq = KeywordQuery(kq_id=msg.kq_id,
+                              keywords=tuple(msg.keywords), k=msg.k,
+                              user=msg.user, arrival=msg.arrival)
+            handle = svc.submit(kq, arrival=msg.arrival,
+                                deadline=msg.deadline, check_cache=False)
+            self._handles[handle.kq_id] = handle
+            self._reported[handle.kq_id] = self._fingerprint(handle)
+            if not handle.terminal:
+                self._watched[handle.kq_id] = handle
+            return SubmitReply(update=self._update(),
+                               handle=self._state_of(handle))
+        if isinstance(msg, CancelQuery):
+            handle = self._handles.get(msg.kq_id)
+            value = bool(handle is not None and not handle.terminal
+                         and svc.cancel(handle))
+            return BoolReply(update=self._update(), value=value)
+        if isinstance(msg, StepTo):
+            svc.step(msg.until)
+            return Ack(update=self._update())
+        if isinstance(msg, DrainShard):
+            svc.drain()
+            return Ack(update=self._update())
+        if isinstance(msg, PumpQuery):
+            handle = self._handles.get(msg.kq_id)
+            value = bool(handle is not None and not handle.terminal
+                         and svc.pump(handle))
+            return BoolReply(update=self._update(), value=value)
+        if isinstance(msg, AnswersSoFar):
+            handle = self._handles.get(msg.kq_id)
+            answers = svc.answers_so_far(handle) \
+                if handle is not None else []
+            return AnswersReply(update=self._update(),
+                                answers=encode_answers(answers))
+        if isinstance(msg, InflightLeader):
+            leader = svc.inflight_handle(
+                normalize_key(msg.keywords, msg.k))
+            return LeaderReply(update=self._update(),
+                               kq_id=None if leader is None
+                               else leader.kq_id)
+        if isinstance(msg, CachePut):
+            svc.cache.put(normalize_key(msg.keywords, msg.k),
+                          decode_answers(msg.answers), now=msg.stored_at)
+            return Ack(update=self._update())
+        if isinstance(msg, TelemetrySnapshot):
+            report = svc.report()  # syncs optimizer telemetry
+            return SnapshotReply(
+                update=self._update(),
+                telemetry=svc.telemetry.state(),
+                cache=svc.cache.stats.snapshot(),
+                admission=svc.admission.snapshot(),
+                engine=metrics_state(report.engine_report.metrics),
+                registry=svc.metrics_registry().state(),
+            )
+        if isinstance(msg, TraceDump):
+            lines: tuple[str, ...] = ()
+            if self.tracer is not None:
+                lines = tuple(self.tracer.jsonl_lines())
+                if msg.kq_id is not None:
+                    lines = tuple(
+                        line for line in lines
+                        if json.loads(line).get("query") == msg.kq_id)
+            return TraceReply(update=self._update(), lines=lines)
+        if isinstance(msg, Shutdown):
+            return Ack(update=self._update())
+        raise ProtocolError(
+            f"worker cannot serve message kind {msg.kind!r}")
+
+
+class ProcessWorker:
+    """One shard in its own OS process, behind the
+    :class:`ShardWorker` interface.
+
+    The front door holds *proxy* :class:`QueryHandle` objects; the
+    real handles live in the worker.  Every reply's piggy-backed
+    :class:`~repro.service.protocol.WorkerUpdate` advances the fleet
+    clock and replays the worker's handle-state events onto the
+    proxies, so harvest needs no polling.  DONE-via-engine events
+    trigger ``on_completion`` (the front door's authoritative cache
+    write plus mirroring to sibling workers).
+
+    Crash handling: any pipe failure or process death fails the
+    shard's non-terminal proxies with a ``FAILED`` disposition, counts
+    each in the front door's telemetry, and (when ``restart`` is on)
+    respawns the worker with the fleet's warm templates before raising
+    :class:`WorkerCrashed` to the interrupted caller.
+    """
+
+    transport = "process"
+
+    def __init__(self, shard: int, spec: WorkerSpec, *, clock: Clock,
+                 front_telemetry: Telemetry,
+                 service_ref=None,
+                 on_completion: Callable[
+                     ["ProcessWorker", CacheKey, list[RankedAnswer],
+                      float], None] | None = None,
+                 warm_templates: Callable[[], Iterable] | None = None,
+                 restart: bool = True,
+                 start_method: str = "spawn") -> None:
+        self.shard = shard
+        self._spec = spec
+        self._clock = clock
+        self._front_telemetry = front_telemetry
+        self._service_ref = service_ref
+        self._on_completion = on_completion
+        self._warm_templates = warm_templates
+        self._restart = restart
+        self._ctx = mp.get_context(start_method)
+        self._config = spec.execution_config()
+        self._handles: dict[str, QueryHandle] = {}
+        self._tickets: list[QueryHandle] = []
+        self._puts: deque[CachePut] = deque()
+        self._in_flight = 0
+        self._deferred = 0
+        self._pending: type | None = None
+        #: Snapshots retained from crashed incarnations, so a respawn
+        #: does not erase the fleet's history (best effort: only as
+        #: fresh as the last snapshot taken before the crash).
+        self._retained: list[SnapshotReply] = []
+        self._last_snapshot: SnapshotReply | None = None
+        self._alive = False
+        self._proc = None
+        self._conn = None
+        self._spawn()
+
+    # -- process lifecycle ---------------------------------------------------
+
+    def _spawn(self) -> None:
+        spec = self._spec
+        if self._warm_templates is not None:
+            spec = replace(spec, warm_templates=tuple(
+                (tuple(keywords), int(k))
+                for keywords, k in self._warm_templates()))
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(target=_worker_main,
+                                 args=(child_conn, spec.to_wire()),
+                                 daemon=True,
+                                 name=f"repro-shard-{self.shard}")
+        proc.start()
+        child_conn.close()
+        self._proc, self._conn = proc, parent_conn
+        self._alive = True
+        self._pending = None
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def _crash(self, reason: str) -> None:
+        """The shard's process is gone: fail its in-flight queries,
+        retain its last snapshot, and respawn when allowed."""
+        if not self._alive:
+            return
+        self._alive = False
+        self._pending = None
+        self._puts.clear()
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+        if self._proc is not None:
+            self._proc.join(timeout=1.0)
+            if self._proc.is_alive():
+                self._proc.terminate()
+                self._proc.join(timeout=1.0)
+            exitcode = self._proc.exitcode
+            if exitcode is not None:
+                reason = f"{reason} (exit code {exitcode})"
+        now = self._clock.now
+        for handle in self._handles.values():
+            if handle.terminal:
+                continue
+            handle.status = QueryStatus.FAILED
+            handle.completed_at = now
+            handle.reason = f"worker crashed: {reason}"
+            if handle.answers is None:
+                handle.answers = []
+            self._front_telemetry.record_failure(now)
+        self._in_flight = 0
+        self._deferred = 0
+        if self._last_snapshot is not None:
+            self._retained.append(self._last_snapshot)
+            self._last_snapshot = None
+        if self._restart:
+            try:
+                self._spawn()
+            except OSError:
+                return
+            self._front_telemetry.record_worker_restart()
+
+    # -- wire plumbing -------------------------------------------------------
+
+    def _send_raw(self, msg: Message) -> None:
+        if not self._alive:
+            raise WorkerCrashed(
+                f"shard {self.shard}: worker is not running")
+        try:
+            self._conn.send_bytes(encode(msg))
+        except (BrokenPipeError, OSError) as exc:
+            self._crash(f"send failed: {exc}")
+            raise WorkerCrashed(
+                f"shard {self.shard}: worker pipe broke on send") from exc
+
+    def _recv(self, reply_cls: type) -> Message:
+        try:
+            while not self._conn.poll(0.05):
+                if not self._proc.is_alive() and not self._conn.poll(0.2):
+                    self._crash("process died")
+                    raise WorkerCrashed(
+                        f"shard {self.shard}: worker process died")
+            data = self._conn.recv_bytes()
+        except (EOFError, OSError) as exc:
+            self._crash(f"recv failed: {exc}")
+            raise WorkerCrashed(
+                f"shard {self.shard}: worker pipe broke on recv") from exc
+        reply = decode(data)
+        if not isinstance(reply, reply_cls):
+            self._crash(f"out-of-protocol reply {reply.kind!r}")
+            raise WorkerCrashed(
+                f"shard {self.shard}: expected {reply_cls.__name__}, "
+                f"got {reply.kind}")
+        self._apply_update(reply.update)
+        return reply
+
+    def _send(self, msg: Message) -> None:
+        if self._pending is not None:
+            raise ExecutionError(
+                f"shard {self.shard}: a split-phase reply is pending")
+        self._flush_puts()
+        self._send_raw(msg)
+
+    def _request(self, msg: Message, reply_cls: type) -> Message:
+        self._send(msg)
+        return self._recv(reply_cls)
+
+    def _flush_puts(self) -> None:
+        while self._puts:
+            msg = self._puts.popleft()
+            self._send_raw(msg)
+            self._recv(Ack)
+
+    def _apply_update(self, update: WorkerUpdate) -> None:
+        self._clock.advance_to(update.now)
+        self._in_flight = update.in_flight
+        self._deferred = update.deferred
+        for event in update.events:
+            self._apply_event(event)
+
+    def _apply_event(self, event: HandleState) -> None:
+        proxy = self._handles.get(event.kq_id)
+        if proxy is None:
+            return
+        proxy.status = QueryStatus(event.status)
+        proxy.via = event.via
+        proxy.uq_id = event.uq_id
+        proxy.completed_at = event.completed_at
+        proxy.reason = event.reason
+        if event.deadline is not None:
+            proxy.deadline = event.deadline
+        if event.answers is not None:
+            proxy.answers = decode_answers(event.answers)
+        if (proxy.status is QueryStatus.DONE and event.via == "engine"
+                and proxy.answers is not None
+                and self._on_completion is not None):
+            self._on_completion(
+                self, normalize_key(proxy.keywords, proxy.k),
+                list(proxy.answers),
+                event.completed_at if event.completed_at is not None
+                else self._clock.now)
+
+    # -- the query surface ---------------------------------------------------
+
+    def submit(self, kq: KeywordQuery, at: float, *,
+               deadline: float | None = None, uq=None) -> QueryHandle:
+        # ``uq`` (a front-door pre-expansion) never crosses the wire:
+        # the worker re-expands deterministically from the keywords.
+        reply = self._request(
+            SubmitQuery(now=at, kq_id=kq.kq_id,
+                        keywords=tuple(kq.keywords), k=kq.k, arrival=at,
+                        user=kq.user, deadline=deadline),
+            SubmitReply)
+        state = reply.handle
+        proxy = QueryHandle(
+            kq_id=kq.kq_id, keywords=tuple(kq.keywords), k=kq.k,
+            arrival=state.arrival, status=QueryStatus(state.status),
+            via=state.via, uq_id=state.uq_id,
+            answers=decode_answers(state.answers),
+            completed_at=state.completed_at, reason=state.reason,
+            deadline=state.deadline, shard=self.shard,
+            service=self._service_ref)
+        self._handles[kq.kq_id] = proxy
+        self._tickets.append(proxy)
+        return proxy
+
+    def cancel(self, handle: QueryHandle) -> bool:
+        try:
+            reply = self._request(
+                CancelQuery(now=self._clock.now, kq_id=handle.kq_id),
+                BoolReply)
+        except WorkerCrashed:
+            return False
+        return reply.value
+
+    def answers_so_far(self, handle: QueryHandle) -> list[RankedAnswer]:
+        try:
+            reply = self._request(
+                AnswersSoFar(now=self._clock.now, kq_id=handle.kq_id),
+                AnswersReply)
+        except WorkerCrashed:
+            return list(handle.answers or [])
+        return decode_answers(reply.answers) or []
+
+    def pump(self, handle: QueryHandle) -> bool:
+        try:
+            reply = self._request(
+                PumpQuery(now=self._clock.now, kq_id=handle.kq_id),
+                BoolReply)
+        except WorkerCrashed:
+            return False
+        return reply.value
+
+    def inflight_handle(self, key: CacheKey) -> QueryHandle | None:
+        try:
+            reply = self._request(
+                InflightLeader(now=self._clock.now,
+                               keywords=tuple(sorted(key[0])), k=key[1]),
+                LeaderReply)
+        except WorkerCrashed:
+            return None
+        if reply.kq_id is None:
+            return None
+        return self._handles.get(reply.kq_id)
+
+    # -- split-phase progress ------------------------------------------------
+
+    def start_step(self, until: float) -> None:
+        self._send(StepTo(now=until, until=until))
+        self._pending = Ack
+
+    def finish_step(self) -> None:
+        if self._pending is None:
+            return
+        reply_cls, self._pending = self._pending, None
+        self._recv(reply_cls)
+
+    def start_drain(self) -> None:
+        self._send(DrainShard(now=self._clock.now))
+        self._pending = Ack
+
+    finish_drain = finish_step
+
+    @property
+    def in_flight_count(self) -> int:
+        return self._in_flight
+
+    @property
+    def deferred_count(self) -> int:
+        return self._deferred
+
+    def enqueue_cache_put(self, key: CacheKey,
+                          answers: list[RankedAnswer],
+                          stored_at: float) -> None:
+        """Queue one authoritative-cache insertion for mirroring; the
+        queue flushes before this worker's next request (a reply must
+        never be outstanding when a new request goes down the pipe)."""
+        if not self._alive:
+            return
+        self._puts.append(CachePut(
+            now=stored_at, keywords=tuple(sorted(key[0])), k=key[1],
+            answers=encode_answers(answers), stored_at=stored_at))
+
+    # -- observability -------------------------------------------------------
+
+    def _snapshot(self) -> SnapshotReply | None:
+        if not self._alive:
+            return None
+        try:
+            reply = self._request(
+                TelemetrySnapshot(now=self._clock.now), SnapshotReply)
+        except WorkerCrashed:
+            return None
+        self._last_snapshot = reply
+        return reply
+
+    def report(self) -> ServiceReport:
+        snapshot = self._snapshot()
+        states = list(self._retained)
+        if snapshot is not None:
+            states.append(snapshot)
+        telemetries = [Telemetry.from_state(s.telemetry) for s in states]
+        telemetry = telemetries[0] if len(telemetries) == 1 \
+            else Telemetry.merged(telemetries)
+        metrics = Metrics()
+        for state in states:
+            metrics.merge_from(metrics_from_state(state.engine))
+        cache_stats = _sum_stats([s.cache for s in states])
+        lookups = cache_stats.get("hits", 0.0) + cache_stats.get(
+            "misses", 0.0)
+        cache_stats["hit_rate"] = (
+            cache_stats.get("hits", 0.0) / lookups if lookups else 0.0)
+        return ServiceReport(
+            telemetry=telemetry,
+            cache_stats=cache_stats,
+            tickets=list(self._tickets),
+            admission_stats=_sum_stats([s.admission for s in states]),
+            engine_report=EngineReport(config=self._config,
+                                       metrics=metrics),
+        )
+
+    def registry_view(self) -> MetricsRegistry:
+        snapshot = self._snapshot()
+        states = [s.registry for s in self._retained]
+        if snapshot is not None:
+            states.append(snapshot.registry)
+        registries = [MetricsRegistry.from_state(s) for s in states]
+        if not registries:
+            return MetricsRegistry()
+        if len(registries) == 1:
+            return registries[0]
+        return MetricsRegistry.merged([(r, {}) for r in registries])
+
+    def trace_lines(self, kq_id: str | None = None) -> tuple[str, ...]:
+        if not self._alive:
+            return ()
+        try:
+            reply = self._request(
+                TraceDump(now=self._clock.now, kq_id=kq_id), TraceReply)
+        except WorkerCrashed:
+            return ()
+        return tuple(reply.lines)
+
+    def close(self) -> None:
+        if self._alive:
+            # Retain a final snapshot: report()/registry_view() keep
+            # working after the fleet shuts down (the CLI writes its
+            # metrics export post-close).
+            snapshot = self._snapshot()
+            if snapshot is not None:
+                self._retained.append(snapshot)
+                self._last_snapshot = None
+            try:
+                self._request(Shutdown(now=self._clock.now), Ack)
+            except WorkerCrashed:
+                pass
+        self._alive = False
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+        if self._proc is not None:
+            self._proc.join(timeout=2.0)
+            if self._proc.is_alive():
+                self._proc.terminate()
+                self._proc.join(timeout=1.0)
+
+
+def _sum_stats(parts: list[dict]) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for part in parts:
+        for key, value in part.items():
+            if isinstance(value, (int, float)):
+                out[key] = out.get(key, 0.0) + float(value)
+    return out

@@ -96,7 +96,8 @@ class TestStatusLifecycle:
     def test_terminal_states(self):
         for status in QueryStatus:
             expected = status in (QueryStatus.DONE, QueryStatus.REJECTED,
-                                  QueryStatus.CANCELLED, QueryStatus.EXPIRED)
+                                  QueryStatus.CANCELLED, QueryStatus.EXPIRED,
+                                  QueryStatus.FAILED)
             assert status.terminal is expected
 
     def test_done_means_full_answer_only(self, fed, index):
