@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Regenerate the wire-protocol golden snapshot.
+
+``tests/test_protocol_schema.py`` diffs the live message dataclasses in
+``repro/service/protocol.py`` against ``tests/golden/protocol_schema.
+json``.  After an *intentional* protocol change:
+
+1. bump ``WIRE_VERSION`` in ``src/repro/service/protocol.py`` (any
+   field rename/retype/default change is a protocol change -- an old
+   worker binary must never misread a new front door's frames), then
+2. run ``python scripts/update_protocol_schema.py`` and commit the
+   refreshed golden.
+
+The script refuses to regenerate a changed schema under an unchanged
+version -- the exact mistake the lock exists to catch.  A cosmetic
+refresh (e.g. reformatting the golden) can pass ``--allow-unversioned``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+GOLDEN = REPO / "tests" / "golden" / "protocol_schema.json"
+
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.service.protocol import wire_schema  # noqa: E402
+
+
+def _display(path: Path) -> str:
+    try:
+        return str(path.relative_to(REPO))
+    except ValueError:
+        return str(path)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--allow-unversioned", action="store_true",
+        help="permit rewriting a changed schema without a WIRE_VERSION "
+             "bump (cosmetic golden refresh only)")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare only; exit 1 if the golden is stale, write nothing")
+    args = parser.parse_args(argv)
+
+    live = wire_schema()
+    rendered = json.dumps(live, indent=2, sort_keys=True) + "\n"
+    old = None
+    if GOLDEN.exists():
+        old = json.loads(GOLDEN.read_text(encoding="utf-8"))
+
+    if args.check:
+        if old == live:
+            print(f"{_display(GOLDEN)} is up to date "
+                  f"(protocol_version {live['protocol_version']}, "
+                  f"{len(live['messages'])} message kinds)")
+            return 0
+        print(f"{_display(GOLDEN)} is stale", file=sys.stderr)
+        return 1
+
+    if (old is not None and old["messages"] != live["messages"]
+            and old["protocol_version"] == live["protocol_version"]
+            and not args.allow_unversioned):
+        changed = sorted(
+            kind for kind in set(old["messages"]) | set(live["messages"])
+            if old["messages"].get(kind) != live["messages"].get(kind))
+        print(
+            f"error: message fields changed ({', '.join(changed)}) but "
+            f"WIRE_VERSION is still {live['protocol_version']}.\n"
+            f"Bump WIRE_VERSION in src/repro/service/protocol.py first "
+            f"-- an old worker must never misread a new frame -- then "
+            f"re-run this script.  (--allow-unversioned overrides, for "
+            f"cosmetic refreshes only.)", file=sys.stderr)
+        return 1
+
+    GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN.write_text(rendered, encoding="utf-8")
+    print(f"wrote {_display(GOLDEN)} "
+          f"(protocol_version {live['protocol_version']}, "
+          f"{len(live['messages'])} message kinds)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

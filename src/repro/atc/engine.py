@@ -576,6 +576,8 @@ class QSystemEngine:
         self.qs.unpin_all(graph)
         return outcome.record
 
+    # repro: allow[obs-guard] -- emission helper: step() calls it under
+    # its `tracing = self.tracer.enabled` guard, never unguarded
     def _trace_dispatch(self, graph: PlanGraph, batch: Batch,
                         uqs: list[UserQuery], dispatched: float, record,
                         layers_before: dict, wall_before: float) -> None:

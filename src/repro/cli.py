@@ -23,7 +23,10 @@ Commands:
   driven by a ``--tick``-second housekeeping loop; ``--clock
   virtual`` serves deterministically for differential testing;
 * ``explain <keywords...>`` -- trace one query end to end and print
-  its span tree with a per-stage virtual/wall breakdown.
+  its span tree with a per-stage virtual/wall breakdown;
+* ``lint [paths...]`` -- run the AST-based invariant checker
+  (clock/rng discipline, wire hygiene, determinism hazards,
+  observability drift) over the tree; exit 0 clean, 1 on violations.
 """
 
 from __future__ import annotations
@@ -166,6 +169,13 @@ def _build_parser() -> argparse.ArgumentParser:
                          choices=[str(m) for m in SharingMode])
     explain.add_argument("--trace-dir", default=None, metavar="DIR",
                          help="also dump the trace as JSONL under DIR")
+
+    from repro.lint.cli import add_lint_arguments
+    lint = sub.add_parser(
+        "lint",
+        help="check the determinism/clock/wire/observability contracts "
+             "(AST-based; see --list-rules)")
+    add_lint_arguments(lint)
     return parser
 
 
@@ -414,6 +424,17 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run
+    from repro.lint.framework import LintError
+
+    try:
+        return run(args)
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -422,6 +443,7 @@ def main(argv: list[str] | None = None) -> int:
         "workload": cmd_workload,
         "serve": cmd_serve,
         "explain": cmd_explain,
+        "lint": cmd_lint,
     }
     try:
         return handlers[args.command](args)

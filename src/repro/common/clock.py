@@ -135,6 +135,20 @@ class WallClock:
         return f"WallClock(now={self.now:.6f})"
 
 
+def wall_timer() -> float:
+    """The sanctioned real-time source for *observability* timings.
+
+    Trace spans and optimizer wall-time records measure how long this
+    process actually worked, which is real time by definition and never
+    feeds an answer.  Those sites use this timer instead of reaching
+    for :func:`time.perf_counter` directly, so ``repro lint``'s
+    clock-discipline rule can keep every other OS-clock access out of
+    the codebase: anything that *can* influence an answer must go
+    through a :class:`Clock`.
+    """
+    return time.perf_counter()
+
+
 class StopWatch:
     """Accumulates intervals of virtual time under a label.
 

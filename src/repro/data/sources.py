@@ -304,7 +304,13 @@ class ListSource:
         if not self.charge_free and self.clock is not None:
             mean = self.delays.stream_read_mean if self.delays else 0.0
             delay = mean if (self.delays and self.delays.deterministic) \
-                else poisson_delay(self._rng or random.Random(0), mean)
+                else poisson_delay(
+                    # repro: allow[rng-discipline] -- a fresh Random(0)
+                    # per read is the pinned legacy fallback delay
+                    # stream (constant first draw) for sources built
+                    # without an rng; real sources pass a make_rng
+                    # stream and never reach it
+                    self._rng or random.Random(0), mean)
             self.clock.advance(delay)
             if self.metrics is not None:
                 self.metrics.record_stream_read(self.name, delay)

@@ -1,0 +1,81 @@
+"""``repro lint`` -- run the invariant checker from the command line.
+
+Exit codes: ``0`` clean, ``1`` violations found, ``2`` usage error.
+Also runnable as ``python -m repro.lint``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.framework import LintError, run_lint
+from repro.lint.report import render_console, render_json, render_rule_list
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """The ``lint`` option surface (shared with the top-level CLI)."""
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: src and tests "
+             "where they exist, else the current directory)")
+    parser.add_argument(
+        "--format", default="console", choices=("console", "json"),
+        help="output format (default console)")
+    parser.add_argument(
+        "--rules", default=None, metavar="ID[,ID...]",
+        help="comma-separated rule ids to run (default: all; stale-"
+             "suppression detection only runs with the full set)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every rule with the invariant it enforces and exit")
+    parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="also write the report (in the chosen format) to FILE")
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="console format: list suppressed findings with reasons")
+
+
+def default_paths() -> list[str]:
+    found = [name for name in ("src", "tests") if Path(name).is_dir()]
+    return found or ["."]
+
+
+def run(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+    paths = args.paths or default_paths()
+    rule_ids = None
+    if args.rules is not None:
+        rule_ids = [part.strip() for part in args.rules.split(",")
+                    if part.strip()]
+        if not rule_ids:
+            raise LintError("--rules given but names no rule ids")
+    report = run_lint(paths, rule_ids=rule_ids)
+    rendered = render_json(report) if args.format == "json" \
+        else render_console(report, verbose=args.show_suppressed)
+    print(rendered)
+    if args.output is not None:
+        Path(args.output).write_text(rendered + "\n", encoding="utf-8")
+    return report.exit_code
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based checker for the project's determinism, "
+                    "clock, wire-protocol, and observability contracts")
+    add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        return run(args)
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Rendering for lint runs: human console text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.framework import LintReport, all_rules
+
+
+def render_console(report: LintReport, verbose: bool = False) -> str:
+    """The human-facing run summary (one line per violation)."""
+    lines = [v.render() for v in report.violations]
+    if verbose:
+        for violation, supp in report.suppressed:
+            lines.append(f"{violation.render()}  "
+                         f"[suppressed: {supp.reason}]")
+    tally = (f"{len(report.violations)} violation"
+             f"{'' if len(report.violations) == 1 else 's'}")
+    if report.suppressed:
+        tally += f" ({len(report.suppressed)} suppressed with reasons)"
+    lines.append(f"{tally} across {report.files_checked} files")
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps(report.as_dict(), indent=2, sort_keys=True)
+
+
+def render_rule_list() -> str:
+    """``--list-rules``: every rule, what it forbids, and the
+    differential guarantee it protects."""
+    blocks = []
+    for rule_id, rule in sorted(all_rules().items()):
+        blocks.append(f"{rule_id}\n"
+                      f"  forbids : {rule.summary}\n"
+                      f"  protects: {rule.contract}")
+    blocks.append(
+        "suppress a finding with '# repro: allow[rule-id] -- reason' "
+        "(the reason is mandatory);\nan allow on a 'def' line covers "
+        "that function, 'allow-module' covers the file.")
+    return "\n".join(blocks)

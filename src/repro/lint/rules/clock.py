@@ -1,0 +1,72 @@
+"""Clock discipline: time flows through the ``Clock`` protocol.
+
+The virtual clock is the correctness oracle: every differential suite
+(``tests/test_clock_modes.py``, ``test_sharded_equivalence.py``,
+``test_process_workers.py``) pins wall-mode and process-worker answers
+against a virtual-clock run.  One stray ``time.monotonic()`` in a
+serving or execution path silently decouples that path from the oracle
+-- the run still passes locally and flakes forever after.  So outside
+``common/clock.py`` (where ``WallClock`` and the sanctioned
+observability timer :func:`repro.common.clock.wall_timer` live), no
+code reads the OS clock or sleeps directly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.framework import LintModule, Rule, Violation, register
+
+#: OS-time entry points banned outside ``common/clock.py``.
+BANNED = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.sleep",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: The one module allowed to touch the OS clock.
+ALLOWED_SUFFIXES = ("common/clock.py",)
+
+
+@register
+class ClockDiscipline(Rule):
+    id = "clock-discipline"
+    summary = ("no direct OS-clock access (time.time/monotonic/"
+               "perf_counter/sleep, datetime.now) outside common/clock.py")
+    contract = ("virtual-vs-wall clock differential suites "
+                "(test_clock_modes, test_sharded_equivalence): answers "
+                "must be byte-identical across clock families, which "
+                "requires every timestamp to flow through the Clock "
+                "protocol or clock.wall_timer")
+
+    def applies_to(self, module: LintModule) -> bool:
+        path = module.path.as_posix()
+        return not any(path.endswith(sfx) for sfx in ALLOWED_SUFFIXES)
+
+    def check(self, module: LintModule) -> Iterable[Violation]:
+        # References (not just calls) are flagged so aliasing --
+        # ``wall = time.perf_counter`` -- cannot smuggle a clock out;
+        # annotation subtrees are skipped by construction.
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            if not isinstance(getattr(node, "ctx", None), ast.Load):
+                continue
+            if module.in_annotation(node):
+                continue
+            parent = module.parent(node)
+            if isinstance(parent, ast.Attribute) and parent.value is node:
+                continue  # report the full dotted chain once
+            name = module.resolve(node)
+            if name in BANNED:
+                yield module.violation(
+                    self.id, node,
+                    f"direct OS-clock access {name!r} outside "
+                    f"common/clock.py -- take a Clock (VirtualClock/"
+                    f"WallClock) or use repro.common.clock.wall_timer "
+                    f"for observability timings")

@@ -1,0 +1,119 @@
+"""Determinism hazards in the execution/optimizer hot paths.
+
+The engine's answers are pinned byte-for-byte across shard counts,
+worker transports, and cache modes.  Python ``set`` iteration order is
+salted per process (``PYTHONHASHSEED``), and ``id()`` is an allocation
+address: ordering work by either produces answers that differ from run
+to run -- exactly the class of bug the CI hash-seed matrix leg exists
+to surface, one flake at a time.  This rule catches the mechanically
+detectable forms at lint time instead, inside the order-sensitive
+packages (``atc``, ``operators``, ``optimizer``, ``plan``):
+
+* iterating directly over a set construction (``set(...)`` /
+  ``frozenset(...)`` / set literals and comprehensions / ``.union()``
+  -family calls) in a ``for`` or comprehension;
+* materializing one in arbitrary order (``list(set(...))``,
+  ``tuple(...)``, ``iter(...)``, ``enumerate(...)``, ``next(iter(s))``);
+* ordering by object identity (``key=id`` or a ``key=lambda`` that
+  calls ``id``) in ``sorted``/``min``/``max``/``.sort``.
+
+Wrap the set in ``sorted(...)`` with a total key to fix any of them.
+Named set-typed *variables* cannot be traced without type inference;
+the rule documents what it can see, the differential suites catch the
+rest.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.framework import LintModule, Rule, Violation, register
+
+#: Path segments naming the order-sensitive packages.
+HOT_SEGMENTS = frozenset({"atc", "operators", "optimizer", "plan"})
+
+_SET_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference",
+})
+_MATERIALIZERS = frozenset({"list", "tuple", "iter", "enumerate"})
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS:
+            return True
+    return False
+
+
+def _lambda_calls_id(node: ast.AST) -> bool:
+    return isinstance(node, ast.Lambda) and any(
+        isinstance(sub, ast.Call)
+        and isinstance(sub.func, ast.Name) and sub.func.id == "id"
+        for sub in ast.walk(node.body))
+
+
+@register
+class DeterministicOrder(Rule):
+    id = "det-order"
+    summary = ("no iteration/materialization of raw sets and no "
+               "id()-keyed ordering in atc/operators/optimizer/plan")
+    contract = ("byte-identical answers under the CI PYTHONHASHSEED "
+                "matrix and across inproc/process workers: set order "
+                "and id() are per-process accidents, so any answer-"
+                "affecting order must come from sorted(...) on a "
+                "total key")
+
+    def applies_to(self, module: LintModule) -> bool:
+        return bool(HOT_SEGMENTS.intersection(module.path.parts))
+
+    def check(self, module: LintModule) -> Iterable[Violation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)) \
+                    and _is_set_expr(node.iter):
+                yield module.violation(
+                    self.id, node.iter,
+                    "iterating a set directly: the order is salted "
+                    "per process -- iterate sorted(...) with a total key")
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for gen in node.generators:
+                    if _is_set_expr(gen.iter):
+                        yield module.violation(
+                            self.id, gen.iter,
+                            "comprehension over a raw set: the order is "
+                            "salted per process -- iterate sorted(...) "
+                            "with a total key")
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Name) \
+                        and func.id in _MATERIALIZERS \
+                        and len(node.args) == 1 \
+                        and _is_set_expr(node.args[0]):
+                    yield module.violation(
+                        self.id, node,
+                        f"{func.id}() over a raw set materializes an "
+                        f"arbitrary per-process order -- use sorted(...) "
+                        f"with a total key")
+                    continue
+                is_sort_call = (
+                    isinstance(func, ast.Name)
+                    and func.id in ("sorted", "min", "max")
+                ) or (isinstance(func, ast.Attribute) and func.attr == "sort")
+                if is_sort_call:
+                    for kw in node.keywords:
+                        if kw.arg != "key":
+                            continue
+                        key_is_id = (isinstance(kw.value, ast.Name)
+                                     and kw.value.id == "id")
+                        if key_is_id or _lambda_calls_id(kw.value):
+                            yield module.violation(
+                                self.id, kw.value,
+                                "ordering by id(): object identity is an "
+                                "allocation address, different every run "
+                                "-- order by a stable domain key")

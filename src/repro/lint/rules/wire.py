@@ -1,0 +1,154 @@
+"""Wire hygiene: the shard-worker protocol stays pickle-free and typed.
+
+The process-per-shard transport (PR 8) is only safe because the wire is
+versioned JSON over frozen dataclasses: a worker can never execute a
+front door's object graph, and an unknown field/kind/version is a hard
+:class:`~repro.service.protocol.ProtocolError`, not a guess.  Two rules
+keep that true as messages accumulate:
+
+* ``wire-no-pickle``: nothing imports an arbitrary-object serializer
+  (``pickle`` and friends), anywhere.  One pickled payload on the wire
+  and the version gate means nothing.
+* ``wire-message-shape``: every registered message class in
+  ``service/protocol.py`` is a ``@dataclass(frozen=True)`` whose fields
+  are annotated with JSON-representable types (str/int/float/bool/
+  None/dict, ``tuple[...]``, unions of those, or nested message
+  classes).  ``list`` is rejected on purpose: the decoder rebuilds
+  sequences as tuples, so a ``list`` field would not round-trip equal.
+
+The schema *values* are locked separately by the golden snapshot test
+(``tests/test_protocol_schema.py``); this rule locks the shape.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.framework import LintModule, Rule, Violation, register
+
+#: Modules that deserialize to arbitrary Python objects.
+FORBIDDEN_SERIALIZERS = frozenset({
+    "pickle", "cPickle", "_pickle", "dill", "cloudpickle", "marshal",
+    "shelve",
+})
+
+#: JSON-representable leaf annotations for wire messages.
+_WIRE_LEAVES = frozenset({"str", "int", "float", "bool", "dict", "tuple"})
+
+PROTOCOL_SUFFIX = "service/protocol.py"
+
+
+@register
+class WireNoPickle(Rule):
+    id = "wire-no-pickle"
+    summary = "no pickle/marshal/dill/shelve imports anywhere"
+    contract = ("process-worker safety: the versioned JSON wire "
+                "(test_protocol round-trip suite) guarantees a worker "
+                "never executes a peer's object graph; any pickle "
+                "import is one refactor away from breaking that")
+
+    def check(self, module: LintModule) -> Iterable[Violation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                names = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                names = [node.module] if node.module else []
+            else:
+                continue
+            for name in names:
+                root = name.split(".")[0]
+                if root in FORBIDDEN_SERIALIZERS:
+                    yield module.violation(
+                        self.id, node,
+                        f"import of {root!r}: arbitrary-object "
+                        f"serializers are banned -- the wire is "
+                        f"versioned JSON (repro.service.protocol."
+                        f"encode/decode)")
+
+
+def _wire_ok(node: ast.AST, message_names: set[str]) -> bool:
+    """Is this annotation expression JSON-representable on the wire?"""
+    if isinstance(node, ast.Constant):
+        return node.value is None or node.value is Ellipsis
+    if isinstance(node, ast.Name):
+        return node.id in _WIRE_LEAVES or node.id in message_names
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return _wire_ok(node.left, message_names) \
+            and _wire_ok(node.right, message_names)
+    if isinstance(node, ast.Subscript):
+        if not (isinstance(node.value, ast.Name)
+                and node.value.id in ("tuple", "dict")):
+            return False
+        inner = node.slice
+        elems = inner.elts if isinstance(inner, ast.Tuple) else [inner]
+        return all(_wire_ok(e, message_names) for e in elems)
+    return False
+
+
+def _decorator_name(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+@register
+class WireMessageShape(Rule):
+    id = "wire-message-shape"
+    summary = ("every registered protocol message is a frozen dataclass "
+               "with JSON-representable field annotations")
+    contract = ("wire round-trip identity (test_protocol hypothesis "
+                "suite): decode(encode(msg)) == msg requires frozen, "
+                "hashable messages whose every field survives JSON")
+
+    def applies_to(self, module: LintModule) -> bool:
+        return module.path.as_posix().endswith(PROTOCOL_SUFFIX)
+
+    def check(self, module: LintModule) -> Iterable[Violation]:
+        registered = [
+            node for node in ast.walk(module.tree)
+            if isinstance(node, ast.ClassDef)
+            and any(_decorator_name(d) == "_register"
+                    for d in node.decorator_list)
+        ]
+        names = {cls.name for cls in registered}
+        for cls in registered:
+            frozen = False
+            for deco in cls.decorator_list:
+                if _decorator_name(deco) != "dataclass":
+                    continue
+                if isinstance(deco, ast.Call):
+                    frozen = any(
+                        kw.arg == "frozen"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is True
+                        for kw in deco.keywords)
+            if not frozen:
+                yield module.violation(
+                    self.id, cls,
+                    f"message {cls.name} must be @dataclass(frozen=True): "
+                    f"messages are wire values, never mutated in place")
+            for stmt in cls.body:
+                if not isinstance(stmt, ast.AnnAssign):
+                    continue
+                ann = stmt.annotation
+                if isinstance(ann, ast.Subscript) \
+                        and isinstance(ann.value, ast.Name) \
+                        and ann.value.id == "ClassVar":
+                    continue
+                if not _wire_ok(ann, names):
+                    target = stmt.target
+                    field = target.id if isinstance(target, ast.Name) \
+                        else ast.dump(target)
+                    yield module.violation(
+                        self.id, stmt,
+                        f"field {cls.name}.{field} has a non-wire "
+                        f"annotation {ast.unparse(ann)!r}: use str/int/"
+                        f"float/bool/None/dict/tuple[...], unions of "
+                        f"those, or nested message classes (list is "
+                        f"banned -- the decoder rebuilds sequences as "
+                        f"tuples)")

@@ -3,7 +3,8 @@
 A :class:`Tracer` records, for every submitted query, a tree of
 :class:`Span` objects timestamped on *both* clocks -- the virtual clock
 the simulation runs on (:mod:`repro.common.clock`) and wall time
-(``time.perf_counter``), so a trace shows where the simulated latency
+(:func:`repro.common.clock.wall_timer`), so a trace shows where the
+simulated latency
 went *and* where the process actually spent CPU.
 
 The span tree for a served query reads like the pipeline::
@@ -39,9 +40,10 @@ tracing on or off.
 from __future__ import annotations
 
 import json
-import time
 from dataclasses import dataclass, field
 from typing import TextIO
+
+from repro.common.clock import wall_timer
 
 #: Span name of every trace's root.
 ROOT = "query"
@@ -138,7 +140,7 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, wall=time.perf_counter) -> None:
+    def __init__(self, wall=wall_timer) -> None:
         self.wall = wall
         self._traces: dict[str, QueryTrace] = {}
         self._archive: list[QueryTrace] = []

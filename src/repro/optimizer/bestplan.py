@@ -37,9 +37,9 @@ completion time instead of being branched on.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
+from repro.common.clock import wall_timer
 from repro.common.config import ExecutionConfig
 from repro.keyword.queries import ConjunctiveQuery
 from repro.optimizer.candidates import CandidateSet, InputCandidate
@@ -121,7 +121,7 @@ class BestPlanSearch:
     _explored: int = 0
 
     def run(self) -> BestPlanResult:
-        started = time.perf_counter()
+        started = wall_timer()
         self._cq_by_id = {cq.cq_id: cq for cq in self.cqs}
         cq_ids = frozenset(cq.cq_id for cq in self.cqs)
         usable = [
@@ -159,7 +159,7 @@ class BestPlanSearch:
             cost=cost,
             plans_explored=self._explored,
             searched_candidates=searched_count,
-            wall_time=time.perf_counter() - started,
+            wall_time=wall_timer() - started,
         )
         result.validate(self.cqs, self.streamable)
         return result

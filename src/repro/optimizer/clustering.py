@@ -43,7 +43,7 @@ def core_relations(uq: UserQuery, min_refs: int = 1) -> set[str]:
     the gate empties it (tiny user queries)."""
     counts = Counter()
     for cq in uq.cqs:
-        for relation in set(cq.relations):
+        for relation in sorted(set(cq.relations)):
             counts[relation] += 1
     core = {relation for relation, n in counts.items() if n > min_refs}
     return core if core else set(uq.relation_set)
@@ -65,7 +65,7 @@ def cluster_user_queries(uqs: list[UserQuery], min_refs: int = 1,
     source_popularity: Counter = Counter()
     for uq in uqs:
         for cq in uq.cqs:
-            for relation in set(cq.relations):
+            for relation in sorted(set(cq.relations)):
                 ref_counts[uq.uq_id][relation] += 1
                 source_popularity[relation] += 1
 

@@ -51,9 +51,9 @@ digests pin this across every sharing mode and shard count.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
+from repro.common.clock import wall_timer
 from repro.common.config import ExecutionConfig
 from repro.data.database import Federation
 from repro.keyword.queries import ConjunctiveQuery, UserQuery
@@ -343,7 +343,7 @@ class PlanRepository:
         """Optimize one batch group: candidates, best plan, factorized
         plan -- each layer served from the repository when a safe match
         exists, recomputed (and retained) otherwise."""
-        started = time.perf_counter()
+        started = wall_timer()
         config = self.config
         sharing = config.shares_within_uq
         shares_across = config.shares_across_uqs
@@ -541,7 +541,7 @@ class PlanRepository:
     def _finish(self, started: float, uqs: list[UserQuery],
                 plan: FactorizedPlan, candidate_count: int, explored: int,
                 ledger: list[int], delta_grafts: int) -> OptimizeOutcome:
-        wall = time.perf_counter() - started
+        wall = wall_timer() - started
         record = OptimizerRecord(
             candidate_count=candidate_count,
             plans_explored=explored,

@@ -36,13 +36,14 @@ Design rules:
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, fields
+from dataclasses import MISSING, dataclass, fields
 from typing import Any, ClassVar
 
 from repro.keyword.queries import RankedAnswer
 
 __all__ = [
     "WIRE_VERSION",
+    "PROTOCOL_VERSION",
     "ProtocolError",
     "Message",
     "SubmitQuery",
@@ -71,10 +72,18 @@ __all__ = [
     "decode_answer",
     "encode_answers",
     "decode_answers",
+    "wire_schema",
 ]
 
 #: The wire format version stamped on (and demanded of) every frame.
+#: Any change to a message's field names, types, or defaults is a
+#: protocol change and MUST bump this number, then regenerate the
+#: golden snapshot (``python scripts/update_protocol_schema.py``) that
+#: ``tests/test_protocol_schema.py`` locks the schema against.
 WIRE_VERSION = 1
+
+#: The documented name for the version-bump rule; same constant.
+PROTOCOL_VERSION = WIRE_VERSION
 
 
 class ProtocolError(ValueError):
@@ -338,6 +347,31 @@ class TraceReply(Message):
 @dataclass(frozen=True)
 class Ack(Message):
     update: WorkerUpdate
+
+
+# -- schema introspection -----------------------------------------------------
+
+def wire_schema() -> dict:
+    """The protocol's full shape as plain data: version plus, per
+    message kind, the ordered field list with annotation and default.
+
+    This is the single source both the golden snapshot
+    (``tests/golden/protocol_schema.json``, regenerated by
+    ``scripts/update_protocol_schema.py``) and its lock test consume,
+    so a field edit that forgets the :data:`WIRE_VERSION` bump fails
+    the build instead of silently shipping two incompatible builds
+    that claim the same version.
+    """
+    messages: dict[str, list[dict]] = {}
+    for kind in sorted(_KINDS):
+        entries = []
+        for f in fields(_KINDS[kind]):
+            entry: dict[str, Any] = {"name": f.name, "type": f.type}
+            if f.default is not MISSING:
+                entry["default"] = repr(f.default)
+            entries.append(entry)
+        messages[kind] = entries
+    return {"protocol_version": WIRE_VERSION, "messages": messages}
 
 
 # -- wire encoding ------------------------------------------------------------

@@ -1,0 +1,26 @@
+"""Fixture: every function here reads the OS clock directly."""
+
+import datetime
+import time
+from time import monotonic
+
+
+def stamp():
+    return time.time()
+
+
+def tick():
+    return monotonic()
+
+
+def alias_smuggle():
+    grab = time.perf_counter
+    return grab()
+
+
+def nap():
+    time.sleep(0.5)
+
+
+def freshness():
+    return datetime.datetime.now()

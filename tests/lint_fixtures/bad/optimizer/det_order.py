@@ -1,0 +1,19 @@
+"""Fixture: per-process order accidents in a hot-path package."""
+
+
+def visit(relations):
+    for rel in set(relations):
+        print(rel)
+
+
+def names(cqs):
+    return [name for name in {c.name for c in cqs}]
+
+
+def materialize(items):
+    return list(frozenset(items))
+
+
+def by_identity(plans):
+    plans.sort(key=id)
+    return min(plans, key=lambda p: id(p))

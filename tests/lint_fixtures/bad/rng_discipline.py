@@ -1,0 +1,26 @@
+"""Fixture: draws from the hidden process-global generator."""
+
+import random
+from random import randint
+
+
+def draw():
+    return random.random()
+
+
+def pick(items):
+    return random.choice(items)
+
+
+def roll():
+    return randint(1, 6)
+
+
+def fresh_generator():
+    return random.Random()
+
+
+def alias_smuggle(xs):
+    shuffle = random.shuffle
+    shuffle(xs)
+    return xs

@@ -1,0 +1,34 @@
+"""Fixture: registered wire messages breaking the shape contract."""
+
+from dataclasses import dataclass
+
+_KINDS = {}
+
+
+def _register(cls):
+    _KINDS[cls.__name__] = cls
+    return cls
+
+
+@_register
+@dataclass
+class Mutable:
+    """Not frozen: a wire value that can be edited in place."""
+
+    kq_id: str
+
+
+@_register
+@dataclass(frozen=True)
+class Listy:
+    """A list field cannot round-trip (decoder rebuilds tuples)."""
+
+    items: list[str]
+
+
+@_register
+@dataclass(frozen=True)
+class Objecty:
+    """An arbitrary object is not JSON-representable."""
+
+    payload: object

@@ -1,0 +1,14 @@
+"""Fixture: counters drifted from COUNTER_FIELDS both ways."""
+
+
+class _CounterField:
+    def __init__(self, doc=""):
+        self.doc = doc
+
+
+class Telemetry:
+    cache_hits = _CounterField("authoritative cache hits")
+    cache_misses = _CounterField("missing from COUNTER_FIELDS")
+    deferred = _CounterField("also missing from COUNTER_FIELDS")
+
+    COUNTER_FIELDS = ("cache_hits", "evictions")

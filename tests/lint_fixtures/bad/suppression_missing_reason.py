@@ -1,0 +1,7 @@
+"""Fixture: an allow without its mandatory reason."""
+
+import time
+
+
+def nap():
+    time.sleep(0.1)  # repro: allow[clock-discipline]

@@ -1,0 +1,4 @@
+"""Fixture: an allow that no longer suppresses anything."""
+
+# repro: allow[clock-discipline] -- nothing here reads the clock any more
+X = 1

@@ -1,0 +1,3 @@
+"""Fixture: an allow naming a rule id that does not exist."""
+
+X = 1  # repro: allow[no-such-rule] -- misremembered the rule id

@@ -1,0 +1,9 @@
+"""Fixture: arbitrary-object serializers on a wire module."""
+
+import pickle
+import dill as backup
+from marshal import dumps
+
+
+def round_trip(obj):
+    return pickle.loads(dumps(obj)) or backup

@@ -1,0 +1,9 @@
+"""Fixture: time flows through the Clock protocol and wall_timer."""
+
+from repro.common.clock import Clock, wall_timer
+
+
+def step(clock: Clock) -> float:
+    started = wall_timer()
+    clock.advance_to(clock.now() + 1.0)
+    return wall_timer() - started

@@ -1,0 +1,11 @@
+"""Fixture: every order in the hot path comes from a total key."""
+
+
+def visit(relations):
+    for rel in sorted(set(relations)):
+        print(rel)
+
+
+def by_cost(plans):
+    plans.sort(key=lambda p: (p.cost, p.name))
+    return min(plans, key=lambda p: (p.cost, p.name))

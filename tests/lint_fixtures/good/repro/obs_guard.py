@@ -1,0 +1,21 @@
+"""Fixture: every guard idiom the obs-guard rule accepts."""
+
+
+class Engine:
+    def __init__(self, tracer):
+        self.tracer = tracer
+
+    def step(self, uq):
+        if self.tracer.enabled:
+            self.tracer.event("step", uq=uq)
+        tracing = self.tracer.enabled
+        if tracing:
+            self.tracer.span("work")
+        self.tracer.enabled and self.tracer.event_uq("done", uq)
+        return uq
+
+
+def emit(tracer, name):
+    if not tracer.enabled:
+        return
+    tracer.span(name)

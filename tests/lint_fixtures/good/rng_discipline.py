@@ -1,0 +1,11 @@
+"""Fixture: generators are passed in; annotations are not call sites."""
+
+import random
+
+
+def draw(rng: random.Random) -> float:
+    return rng.random()
+
+
+def pick(rng: random.Random, items: list) -> object:
+    return rng.choice(items)

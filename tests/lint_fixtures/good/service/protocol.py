@@ -1,0 +1,31 @@
+"""Fixture: frozen messages with wire-representable annotations."""
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+_KINDS = {}
+
+
+def _register(cls):
+    _KINDS[cls.__name__] = cls
+    return cls
+
+
+@dataclass(frozen=True)
+class Message:
+    kind: ClassVar[str]
+
+
+@_register
+@dataclass(frozen=True)
+class Inner(Message):
+    value: float
+
+
+@_register
+@dataclass(frozen=True)
+class Outer(Message):
+    kq_id: str
+    rows: tuple[dict, ...] = ()
+    deadline: float | None = None
+    inner: Inner | None = None

@@ -1,0 +1,13 @@
+"""Fixture: counters and COUNTER_FIELDS list exactly the same names."""
+
+
+class _CounterField:
+    def __init__(self, doc=""):
+        self.doc = doc
+
+
+class Telemetry:
+    cache_hits = _CounterField("authoritative cache hits")
+    cache_misses = _CounterField("authoritative cache misses")
+
+    COUNTER_FIELDS = ("cache_hits", "cache_misses")

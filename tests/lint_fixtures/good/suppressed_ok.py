@@ -1,0 +1,8 @@
+"""Fixture: a reasoned allow covering a real finding."""
+
+import time
+
+
+def nap():
+    # repro: allow[clock-discipline] -- fixture: a real sleep is the point
+    time.sleep(0.1)

@@ -1,0 +1,7 @@
+"""Fixture: the wire is JSON."""
+
+import json
+
+
+def encode(payload: dict) -> bytes:
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")

@@ -1,0 +1,100 @@
+"""The typing ratchet and the mypy gate.
+
+``pyproject.toml`` carries the mypy configuration: annotated defs are
+the global default, a strict tier covers the contract-bearing packages
+(``repro.common``, ``repro.obs``, ``repro.service.protocol``,
+``repro.lint``), and a checked-in allowlist names the pre-ratchet
+modules still exempt.  The allowlist only shrinks; these tests keep it
+honest even on machines without mypy installed (mypy is a CI tool, not
+a runtime dependency -- the type-check test itself skips when the
+binary is absent).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import shutil
+import subprocess
+import sys
+import tomllib
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+STRICT_TIER = (
+    "repro.common.*",
+    "repro.obs.*",
+    "repro.service.protocol",
+    "repro.lint.*",
+)
+
+
+def mypy_overrides() -> list[dict]:
+    with open(REPO / "pyproject.toml", "rb") as fh:
+        config = tomllib.load(fh)
+    return config["tool"]["mypy"]["overrides"]
+
+
+def allowlist() -> list[str]:
+    for section in mypy_overrides():
+        if section.get("disallow_untyped_defs") is False:
+            return section["module"]
+    raise AssertionError("pyproject has no ratchet-allowlist override")
+
+
+def _module_exists(pattern: str) -> bool:
+    name = pattern[:-2] if pattern.endswith(".*") else pattern
+    return importlib.util.find_spec(name) is not None
+
+
+class TestRatchetAllowlist:
+    def test_every_entry_names_a_real_module(self):
+        """A stale allowlist line is a silently-widened exemption the
+        next new module could hide under -- remove entries when the
+        module they excused is gone (or annotated)."""
+        stale = [m for m in allowlist() if not _module_exists(m)]
+        assert stale == [], (
+            f"ratchet allowlist entries name no importable module: "
+            f"{stale} -- delete them from [tool.mypy] overrides")
+
+    def test_strict_tier_is_configured(self):
+        strict = next(
+            (s for s in mypy_overrides()
+             if set(STRICT_TIER) <= set(s.get("module", []))), None)
+        assert strict is not None, (
+            "pyproject lost the strict-tier mypy override for "
+            f"{STRICT_TIER}")
+        assert strict.get("disallow_untyped_calls") is True
+        assert strict.get("strict_equality") is True
+
+    def test_strict_tier_is_not_allowlisted(self):
+        """The allowlist must never claw back a strict-tier module."""
+        listed = set(allowlist())
+        assert not listed.intersection(STRICT_TIER)
+        assert "repro.service.protocol" not in listed
+        # The service allowlist entries are explicit module names, not
+        # a wildcard, precisely so protocol.py cannot ride along.
+        assert "repro.service.*" not in listed
+
+    def test_allowlist_only_relaxes_def_annotations(self):
+        """The ratchet exemption is narrow: untyped defs, nothing else
+        (no silent opt-out from the global warn/Optional settings)."""
+        section = next(s for s in mypy_overrides()
+                       if s.get("disallow_untyped_defs") is False)
+        relaxed = {k for k, v in section.items()
+                   if k != "module" and v is False}
+        assert relaxed == {"disallow_untyped_defs",
+                           "disallow_incomplete_defs"}
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None,
+                    reason="mypy not installed (CI installs it; it is "
+                           "not a runtime dependency)")
+def test_mypy_passes_with_project_config():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"],
+        cwd=REPO, capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, \
+        f"mypy failed:\n{proc.stdout}\n{proc.stderr}"
